@@ -1,0 +1,48 @@
+// Pre-copy characterization: downtime and total traffic vs. the guest's
+// dirty rate. Context for Figs. 10(b)-(d): live migration only has small
+// downtime when the dirty set converges; a write-hot guest forces a big
+// stop-and-copy (the classic pre-copy failure mode) with or without
+// enclaves.
+#include "bench_common.h"
+
+int main() {
+  using namespace mig;
+  bench::print_header("Ablation: pre-copy vs dirty rate",
+                      "downtime and traffic as the guest writes faster");
+
+  std::printf("%16s %10s %14s %14s %8s\n", "dirty(pages/s)", "rounds",
+              "downtime(ms)", "transfer(MB)", "conv?");
+  for (uint64_t rate : {200ull, 1'600ull, 6'000ull, 20'000ull, 200'000ull}) {
+    hv::World world(4);
+    world.add_machine("src");
+    world.add_machine("dst");
+    auto channel = world.make_channel();
+    hv::DirtyModel dm;
+    dm.pages_per_sec = rate;
+    hv::Vm src(hv::VmConfig{}, dm);
+    hv::Vm dst(hv::VmConfig{}, dm);
+    hv::MigrationParams params;
+    hv::LiveMigrationEngine engine(world.cost(), params);
+    Result<hv::MigrationReport> report = Error(ErrorCode::kInternal, "x");
+    world.executor().spawn("src", [&](sim::ThreadCtx& c) {
+      report = engine.migrate_source(c, src, channel->a());
+    });
+    world.executor().spawn("dst", [&](sim::ThreadCtx& c) {
+      (void)engine.migrate_target(c, dst, channel->b());
+    });
+    MIG_CHECK(world.executor().run());
+    MIG_CHECK(report.ok());
+    bool converged = report->rounds < params.max_rounds;
+    std::printf("%16llu %10llu %14.2f %14.1f %8s\n",
+                static_cast<unsigned long long>(rate),
+                static_cast<unsigned long long>(report->rounds),
+                bench::ms(report->downtime_ns),
+                report->transferred_bytes / 1048576.0,
+                converged ? "yes" : "NO");
+  }
+  std::printf(
+      "\nBeyond the link's drain rate the dirty set never converges and the\n"
+      "engine falls back to a large stop-and-copy — enclave checkpointing\n"
+      "is immaterial to this regime.\n\n");
+  return 0;
+}

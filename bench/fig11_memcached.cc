@@ -1,0 +1,53 @@
+// Figure 11: two-phase checkpointing time vs. checkpoint size for a
+// memcached-like KV store running in an enclave — four worker threads,
+// AES-CBC with AES-NI, 1..32 MB of live state.
+//
+// Expected shape (paper): linear in the state size, ~200 ms at 32 MB.
+#include "apps/kv.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace mig;
+  using namespace mig::apps;
+  bench::print_header("Figure 11",
+                      "two-phase checkpointing time vs Memcached state size "
+                      "(4 workers, AES-NI)");
+
+  std::printf("%10s %22s %20s\n", "state(MB)", "checkpoint size(MB)",
+              "two-phase time(ms)");
+  for (uint64_t mb : {1, 2, 4, 8, 16, 32}) {
+    bench::Bed bed;
+    guestos::Process& proc = bed.guest.create_process("memcached");
+    sdk::EnclaveHost& host =
+        bed.add_enclave(proc, make_kv_program(), kv_layout(mb, /*workers=*/4));
+    uint64_t elapsed = 0;
+    uint64_t blob_size = 0;
+    bed.run([&](sim::ThreadCtx& ctx) {
+      MIG_CHECK(host.create(ctx).ok());
+      // Fill the store to ~the nominal size.
+      uint64_t items = mb * 1024;  // 1 KB slots
+      Writer fill;
+      fill.u64(items);
+      fill.u64(900);
+      auto r = host.ecall(ctx, 0, kKvEcallFill, fill.data());
+      MIG_CHECK_MSG(r.ok(), r.status().to_string());
+
+      uint64_t t0 = ctx.now();
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kPrepareCheckpoint;
+      cmd.cipher = crypto::CipherAlg::kAes128CbcNi;
+      sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+      MIG_CHECK_MSG(reply.status.ok(), reply.status.to_string());
+      elapsed = ctx.now() - t0;
+      blob_size = reply.blob.size();
+      sdk::ControlCmd cancel;
+      cancel.type = sdk::ControlCmd::Type::kCancelMigration;
+      MIG_CHECK(host.mailbox().post(ctx, cancel).status.ok());
+      MIG_CHECK(host.destroy(ctx).ok());
+    });
+    std::printf("%10llu %22.1f %20.1f\n", static_cast<unsigned long long>(mb),
+                blob_size / 1048576.0, bench::ms(elapsed));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 9(a): nbench normalized runtime — native vs. enclave (Intel SDK and
+// the paper's SDK). Each kernel really computes (checksums printed so the
+// work is observable); the enclave overhead comes from the MEE / crossing /
+// EPC-paging model in apps/nbench.cc.
+//
+// Expected shape (paper): compute-bound kernels ~1x, String Sort ~10x.
+#include "apps/nbench.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace mig;
+  using namespace mig::apps;
+  bench::print_header(
+      "Figure 9(a)",
+      "nbench in-enclave overhead, normalized runtime (native = 1.00)");
+
+  const sim::CostModel& cm = sim::default_cost_model();
+  const uint64_t usable_epc = 92ull << 20;
+
+  std::printf("%-18s %12s %12s %12s %12s  %s\n", "kernel", "native(us)",
+              "IntelSDK", "OurSDK", "checksum", "");
+  std::printf("%-18s %12s %12s %12s %12s\n", "", "", "(norm)", "(norm)", "");
+  for (const NbenchKernel& k : nbench_kernels()) {
+    uint64_t checksum = k.run(0x5109);
+    uint64_t native = nbench_native_ns(k, cm);
+    uint64_t ours = nbench_enclave_ns(k, cm, usable_epc);
+    // Intel's (early Linux) SDK: the paper's figure shows it tracking their
+    // SDK closely, with slightly heavier crossings/runtime; modeled as a
+    // small constant factor on the enclave-specific overhead.
+    uint64_t intel = native + static_cast<uint64_t>((ours - native) * 1.12);
+    std::printf("%-18s %12.0f %12.2f %12.2f %12llx\n", k.name.c_str(),
+                bench::us(native), static_cast<double>(intel) / native,
+                static_cast<double>(ours) / native,
+                static_cast<unsigned long long>(checksum));
+  }
+  std::printf(
+      "\nNote: String Sort's blow-up is EPC/MEE pressure from large,\n"
+      "cache-hostile traffic, as in the paper; the other kernels are\n"
+      "compute-bound and stay near 1x.\n\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9(b): overhead of migration support on real applications (des, cr4,
+// mcrypt, gnupg, libjpeg, libzip). Runs each workload's enclave twice — with
+// and without the SDK's migration instrumentation (entry stubs, flag
+// bookkeeping, CSSA recording) — and prints normalized runtime.
+//
+// Expected shape (paper): "migration support brings almost no overhead".
+#include "apps/workloads.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace mig;
+  using namespace mig::apps;
+  bench::print_header("Figure 9(b)",
+                      "migration-support overhead on applications "
+                      "(w/o support = 1.000)");
+
+  std::printf("%-10s %14s %14s %10s\n", "app", "w/o-mig(us)", "w/-mig(us)",
+              "normalized");
+  for (const Workload& w : fig9b_workloads()) {
+    uint64_t elapsed[2] = {0, 0};
+    for (int support = 0; support <= 1; ++support) {
+      bench::Bed bed;
+      guestos::Process& proc = bed.guest.create_process(w.name);
+      sdk::BuildInput in;
+      in.program = w.make_program();
+      in.migration_support = support == 1;
+      sdk::BuildOutput built = sdk::build_enclave_image(
+          in, bed.dev_signer, bed.world.ias().service_pk(), bed.rng);
+      sdk::EnclaveHost host(bed.guest, proc, std::move(built), bed.world.ias(),
+                            bed.rng.fork(to_bytes("h")));
+      bed.run([&](sim::ThreadCtx& ctx) {
+        MIG_CHECK(host.create(ctx).ok());
+        uint64_t t0 = ctx.now();
+        for (int i = 0; i < 50; ++i) {
+          Writer args;
+          args.u64(w.default_block);
+          auto r = host.ecall(ctx, 0, kWorkloadEcallProcess, args.data());
+          MIG_CHECK_MSG(r.ok(), r.status().to_string());
+        }
+        elapsed[support] = ctx.now() - t0;
+        MIG_CHECK(host.destroy(ctx).ok());
+      });
+    }
+    std::printf("%-10s %14.1f %14.1f %10.4f\n", w.name.c_str(),
+                bench::us(elapsed[0]), bench::us(elapsed[1]),
+                static_cast<double>(elapsed[1]) / elapsed[0]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9(d): total dumping time — from the guest OS receiving the
+// migration notification until ALL enclaves are ready (Fig. 8 steps 2-6) —
+// vs. the number of enclaves (1..64).
+//
+// Expected shape (paper): <=940 us at 8 enclaves, ~1.7 ms at 16, ~6.5 ms at
+// 64; superlinear growth once control threads outnumber the 4 VCPUs.
+#include "apps/workloads.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace mig;
+  bench::print_header("Figure 9(d)",
+                      "suspend-all-enclaves (total dumping) time vs count");
+
+  std::printf("%10s %26s\n", "enclaves", "total dumping time (us)");
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    bench::Bed bed;
+    migration::VmMigrationSession session(bed.world, bed.vm, bed.guest,
+                                          *bed.source, *bed.target,
+                                          migration::VmMigrationSession::Options{});
+    for (int i = 0; i < n; ++i) {
+      guestos::Process& proc =
+          bed.guest.create_process("app" + std::to_string(i));
+      const apps::Workload& w =
+          *apps::find_workload(i % 2 == 0 ? "libjpeg" : "mcrypt");
+      session.manage(bed.add_enclave(proc, w.make_program()));
+    }
+    uint64_t elapsed = 0;
+    bed.run([&](sim::ThreadCtx& ctx) {
+      for (auto& h : bed.hosts) {
+        MIG_CHECK(h->create(ctx).ok());
+        bed.provision(ctx, *h);
+      }
+      uint64_t t0 = ctx.now();
+      auto r = bed.guest.prepare_enclaves_for_migration(ctx);
+      MIG_CHECK_MSG(r.ok(), r.status().to_string());
+      elapsed = ctx.now() - t0;
+    });
+    std::printf("%10d %26.1f\n", n, bench::us(elapsed));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the real primitives underneath the
+// simulation: hash/cipher throughput, big-number ops, signatures, and the
+// deterministic executor's scheduling overhead. These measure WALL time of
+// the implementations themselves (the figure benches report virtual time).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.h"
+#include "crypto/bignum.h"
+#include "crypto/ciphers.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "sim/executor.h"
+
+namespace {
+
+using namespace mig;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = crypto::Drbg(to_bytes("s")).generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key = crypto::Drbg(to_bytes("k")).generate(32);
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(4096);
+
+void BM_ChaCha20(benchmark::State& state) {
+  Bytes key = crypto::Drbg(to_bytes("k")).generate(32);
+  Bytes nonce(12, 1);
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    crypto::chacha20_xor(key, nonce, 0, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(64 * 1024);
+
+void BM_Rc4(benchmark::State& state) {
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    crypto::Rc4(to_bytes("key")).xor_stream(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Rc4)->Arg(4096);
+
+void BM_DesCbc(benchmark::State& state) {
+  Bytes key = hex_decode("0123456789abcdef");
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::des_cbc_encrypt(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DesCbc)->Arg(4096);
+
+void BM_Aes128Cbc(benchmark::State& state) {
+  Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes iv(16, 0);
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes128_cbc_encrypt(key, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128Cbc)->Arg(4096);
+
+void BM_SealOpen(benchmark::State& state) {
+  Bytes key = crypto::Drbg(to_bytes("k")).generate(32);
+  Bytes data = crypto::Drbg(to_bytes("d")).generate(state.range(0));
+  for (auto _ : state) {
+    Bytes sealed = crypto::seal(crypto::CipherAlg::kChaCha20, key, data);
+    auto opened = crypto::open(key, sealed);
+    benchmark::DoNotOptimize(opened.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SealOpen)->Arg(20 * 1024);
+
+void BM_BigNumModExp(benchmark::State& state) {
+  crypto::Drbg rng(to_bytes("dh"));
+  const auto& g = crypto::DhGroup::oakley2();
+  crypto::BigNum e = crypto::BigNum::from_bytes(rng.generate(128)) % g.q;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.g.modexp(e, g.p));
+  }
+}
+BENCHMARK(BM_BigNumModExp);
+
+void BM_SchnorrSignVerify(benchmark::State& state) {
+  crypto::Drbg rng(to_bytes("sig"));
+  crypto::SigKeyPair kp = crypto::sig_keygen(rng);
+  Bytes msg = to_bytes("benchmark message");
+  for (auto _ : state) {
+    Bytes sig = crypto::sig_sign(kp.sk, msg, rng);
+    benchmark::DoNotOptimize(crypto::sig_verify(kp.pk, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrSignVerify);
+
+void BM_ExecutorContextSwitch(benchmark::State& state) {
+  // Cost of one work()-slice round trip through the scheduler.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Executor exec(2);
+    state.ResumeTiming();
+    exec.spawn("a", [](sim::ThreadCtx& ctx) {
+      for (int i = 0; i < 1000; ++i) ctx.work(1000);
+    });
+    exec.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExecutorContextSwitch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#include "apps/bank.h"
+
+#include "util/serde.h"
+
+namespace mig::apps {
+
+std::shared_ptr<sdk::EnclaveProgram> make_bank_program(
+    std::function<void()> on_debit, uint64_t mid_transfer_work_ns) {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("bank");
+  prog->add_ecall(kBankEcallInit, "init",
+                  [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t a = r.u64();
+    uint64_t b = r.u64();
+    env.write_u64(env.layout().data_off + kBankOffA, a);
+    env.write_u64(env.layout().data_off + kBankOffB, b);
+    return OkStatus();
+  });
+  prog->add_ecall(
+      kBankEcallTransfer, "transfer",
+      [on_debit, mid_transfer_work_ns](sdk::EnclaveEnv& env, sdk::Frame& f) {
+        Bytes args = f.args();
+        Reader r(args);
+        uint64_t amount = r.u64();
+        uint64_t a_off = env.layout().data_off + kBankOffA;
+        uint64_t b_off = env.layout().data_off + kBankOffB;
+        // Resumable two-step transaction (Fig. 3's transfer()).
+        if (f.pc() == 0) {
+          env.write_u64(a_off, env.read_u64(a_off) - amount);  // debit
+          if (on_debit) on_debit();
+          f.set_local(0, amount);
+          f.step();
+        }
+        if (f.pc() == 1) {
+          env.work(mid_transfer_work_ns);  // the attack window
+          f.step();
+        }
+        env.write_u64(b_off, env.read_u64(b_off) + f.local(0));  // credit
+        return OkStatus();
+      });
+  prog->add_ecall(kBankEcallBalances, "balances",
+                  [](sdk::EnclaveEnv& env, sdk::Frame&) {
+    Writer w;
+    w.u64(env.read_u64(env.layout().data_off + kBankOffA));
+    w.u64(env.read_u64(env.layout().data_off + kBankOffB));
+    env.set_retval(w.take());
+    return OkStatus();
+  });
+  return prog;
+}
+
+}  // namespace mig::apps

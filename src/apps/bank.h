@@ -1,0 +1,29 @@
+// The paper's running example for the data-consistency attack (§IV-A,
+// Fig. 3): an in-enclave "bank" holding two accounts whose sum is invariant.
+// transfer() debits A, computes for a while, then credits B — a checkpoint
+// taken in between captures a state that never legally existed.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sdk/enclave_env.h"
+#include "sdk/program.h"
+
+namespace mig::apps {
+
+inline constexpr uint64_t kBankEcallInit = 1;      // args: u64 a, u64 b
+inline constexpr uint64_t kBankEcallTransfer = 2;  // args: u64 amount
+inline constexpr uint64_t kBankEcallBalances = 3;  // -> u64 a, u64 b
+
+// Offsets of the accounts within the data region.
+inline constexpr uint64_t kBankOffA = 0;
+inline constexpr uint64_t kBankOffB = 8;
+
+// `on_debit`, if provided, is invoked right after the debit lands (an
+// untrusted-host observation point; attack tests use it to time their dump).
+std::shared_ptr<sdk::EnclaveProgram> make_bank_program(
+    std::function<void()> on_debit = nullptr,
+    uint64_t mid_transfer_work_ns = 2'000'000);
+
+}  // namespace mig::apps

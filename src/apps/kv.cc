@@ -1,0 +1,109 @@
+#include "apps/kv.h"
+
+#include "sgx/types.h"
+#include "util/serde.h"
+
+namespace mig::apps {
+
+namespace {
+// Data-region bookkeeping offsets.
+constexpr uint64_t kOffItems = 0;
+constexpr uint64_t kOffBytes = 8;
+
+uint64_t slot_count(const sdk::Layout& l) {
+  return l.params.heap_pages * sgx::kPageSize / kKvSlotBytes;
+}
+
+uint64_t slot_off(const sdk::Layout& l, uint64_t key) {
+  return l.heap_off + (key % slot_count(l)) * kKvSlotBytes;
+}
+
+// Deterministic value pattern for a key; checkable by get().
+Bytes value_pattern(uint64_t key, uint64_t len) {
+  Bytes out(len);
+  uint64_t s = key * 0x9e3779b97f4a7c15ULL + 0xabcdef;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i % 8 == 0) s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    out[i] = static_cast<uint8_t>(s >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+uint64_t checksum(ByteSpan data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint8_t b : data) h = (h ^ b) * 1099511628211ULL;
+  return h;
+}
+
+Status do_set(sdk::EnclaveEnv& env, uint64_t key, uint64_t len) {
+  if (len == 0 || len > kKvSlotBytes - 8)
+    return Error(ErrorCode::kInvalidArgument, "bad value length");
+  uint64_t off = slot_off(env.layout(), key);
+  Writer hdr;
+  hdr.u64(len);
+  env.write_bytes(off, hdr.data());
+  env.write_bytes(off + 8, value_pattern(key, len));
+  env.work(80 + len / 4);  // memcached-ish store cost
+  uint64_t d = env.layout().data_off;
+  env.write_u64(d + kOffItems, env.read_u64(d + kOffItems) + 1);
+  env.write_u64(d + kOffBytes, env.read_u64(d + kOffBytes) + len);
+  return OkStatus();
+}
+}  // namespace
+
+std::shared_ptr<sdk::EnclaveProgram> make_kv_program() {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("memcached-kv");
+  prog->add_ecall(kKvEcallSet, "set", [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t key = r.u64();
+    uint64_t len = r.u64();
+    return do_set(env, key, len);
+  });
+  prog->add_ecall(kKvEcallGet, "get", [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t key = r.u64();
+    uint64_t off = slot_off(env.layout(), key);
+    uint64_t len = env.read_u64(off);
+    if (len == 0 || len > kKvSlotBytes - 8)
+      return Error(ErrorCode::kNotFound, "no such key");
+    Bytes value = env.read_bytes(off + 8, len);
+    env.work(60 + len / 8);
+    Writer w;
+    w.u64(checksum(value));
+    env.set_retval(w.take());
+    return OkStatus();
+  });
+  // Bulk loader for the Fig. 11 bench: resumable so big fills can AEX.
+  prog->add_ecall(kKvEcallFill, "fill", [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t count = r.u64();
+    uint64_t len = r.u64();
+    while (f.pc() < count) {
+      MIG_RETURN_IF_ERROR(do_set(env, f.pc(), len));
+      f.step();
+    }
+    return OkStatus();
+  });
+  prog->add_ecall(kKvEcallStats, "stats", [](sdk::EnclaveEnv& env, sdk::Frame&) {
+    Writer w;
+    uint64_t d = env.layout().data_off;
+    w.u64(env.read_u64(d + kOffItems));
+    w.u64(env.read_u64(d + kOffBytes));
+    env.set_retval(w.take());
+    return OkStatus();
+  });
+  return prog;
+}
+
+sdk::LayoutParams kv_layout(uint64_t value_mb, uint64_t workers) {
+  sdk::LayoutParams p;
+  p.num_workers = workers;
+  p.heap_pages = value_mb * 256;  // 4 KB pages
+  p.data_pages = 1;
+  return p;
+}
+
+}  // namespace mig::apps

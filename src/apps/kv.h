@@ -1,0 +1,28 @@
+// Memcached-like in-enclave key-value store (the paper runs Memcached
+// 1.4.22 in an enclave for Fig. 11: two-phase checkpointing time vs. state
+// size, AES-NI encryption, four worker threads).
+//
+// Values live in the enclave heap in fixed-size slots; set/get are ecalls.
+// The Fig. 11 bench sizes the heap 1..32 MB and measures kPrepareCheckpoint.
+#pragma once
+
+#include <memory>
+
+#include "sdk/enclave_env.h"
+#include "sdk/program.h"
+
+namespace mig::apps {
+
+inline constexpr uint64_t kKvEcallSet = 1;    // args: u64 key, u64 len
+inline constexpr uint64_t kKvEcallGet = 2;    // args: u64 key -> u64 checksum
+inline constexpr uint64_t kKvEcallFill = 3;   // args: u64 count, u64 len
+inline constexpr uint64_t kKvEcallStats = 4;  // -> u64 items, u64 bytes
+
+inline constexpr uint64_t kKvSlotBytes = 1024;
+
+std::shared_ptr<sdk::EnclaveProgram> make_kv_program();
+
+// Layout parameters for a KV enclave holding ~`value_mb` MB of live state.
+sdk::LayoutParams kv_layout(uint64_t value_mb, uint64_t workers = 4);
+
+}  // namespace mig::apps

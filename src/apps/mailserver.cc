@@ -1,0 +1,79 @@
+#include "apps/mailserver.h"
+
+#include "util/serde.h"
+
+namespace mig::apps {
+
+namespace {
+constexpr uint64_t kOffStatus = 0;
+constexpr uint64_t kOffCount = 8;
+constexpr uint64_t kOffRecipients = 16;  // up to 32 x u64
+constexpr uint64_t kMaxRecipients = 32;
+}  // namespace
+
+std::shared_ptr<sdk::EnclaveProgram> make_mail_program() {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("mail-server");
+  prog->add_ecall(kMailEcallCreate, "create",
+                  [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t n = r.u64();
+    if (n > kMaxRecipients)
+      return Error(ErrorCode::kInvalidArgument, "too many recipients");
+    uint64_t d = env.layout().data_off;
+    env.work(500);
+    for (uint64_t i = 0; i < n; ++i)
+      env.write_u64(d + kOffRecipients + 8 * i, r.u64());
+    env.write_u64(d + kOffCount, n);
+    env.write_u64(d + kOffStatus, kMailStatusDraft);
+    return r.finish();
+  });
+  prog->add_ecall(kMailEcallDelete, "delete",
+                  [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t id = r.u64();
+    uint64_t d = env.layout().data_off;
+    if (env.read_u64(d + kOffStatus) != kMailStatusDraft)
+      return Error(ErrorCode::kFailedPrecondition, "no draft");
+    uint64_t n = env.read_u64(d + kOffCount);
+    env.work(300);
+    uint64_t out = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t rec = env.read_u64(d + kOffRecipients + 8 * i);
+      if (rec == id) continue;
+      env.write_u64(d + kOffRecipients + 8 * out, rec);
+      ++out;
+    }
+    if (out == n) return Error(ErrorCode::kNotFound, "no such recipient");
+    env.write_u64(d + kOffCount, out);
+    return OkStatus();
+  });
+  prog->add_ecall(kMailEcallSend, "send",
+                  [](sdk::EnclaveEnv& env, sdk::Frame&) {
+    uint64_t d = env.layout().data_off;
+    if (env.read_u64(d + kOffStatus) != kMailStatusDraft)
+      return Error(ErrorCode::kFailedPrecondition, "no draft to send");
+    uint64_t n = env.read_u64(d + kOffCount);
+    env.work(800);
+    Writer w;
+    w.u64(n);
+    for (uint64_t i = 0; i < n; ++i)
+      w.u64(env.read_u64(d + kOffRecipients + 8 * i));
+    env.write_u64(d + kOffStatus, kMailStatusSent);
+    env.set_retval(w.take());
+    return OkStatus();
+  });
+  prog->add_ecall(kMailEcallStatus, "status",
+                  [](sdk::EnclaveEnv& env, sdk::Frame&) {
+    uint64_t d = env.layout().data_off;
+    Writer w;
+    w.u64(env.read_u64(d + kOffStatus));
+    w.u64(env.read_u64(d + kOffCount));
+    env.set_retval(w.take());
+    return OkStatus();
+  });
+  return prog;
+}
+
+}  // namespace mig::apps

@@ -1,0 +1,28 @@
+// The paper's fork-attack running example (Fig. 6): a mail server in an
+// enclave. A draft has a recipient list; the client creates the mail,
+// deletes Eve from the recipients, then sends. If a malicious operator can
+// fork the enclave between the operations, the fork that never saw the
+// delete sends the mail to Eve. Self-destroy + single key delivery prevent
+// exactly this; examples/mail_server.cc and the attack tests demonstrate it.
+#pragma once
+
+#include <memory>
+
+#include "sdk/enclave_env.h"
+#include "sdk/program.h"
+
+namespace mig::apps {
+
+inline constexpr uint64_t kMailEcallCreate = 1;  // args: u64 n, n x u64 ids
+inline constexpr uint64_t kMailEcallDelete = 2;  // args: u64 id
+inline constexpr uint64_t kMailEcallSend = 3;    // -> recipient ids at send
+inline constexpr uint64_t kMailEcallStatus = 4;  // -> u64 status, u64 n
+
+// Status values stored in the data region.
+inline constexpr uint64_t kMailStatusNone = 0;
+inline constexpr uint64_t kMailStatusDraft = 1;
+inline constexpr uint64_t kMailStatusSent = 2;
+
+std::shared_ptr<sdk::EnclaveProgram> make_mail_program();
+
+}  // namespace mig::apps

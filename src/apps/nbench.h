@@ -1,0 +1,45 @@
+// nbench 2.2.3 kernels (Fig. 9(a) workload).
+//
+// The paper ports BYTEmark/nbench into an enclave with both Intel's SDK and
+// their own, and reports normalized runtime vs native. We reimplement the
+// ten... nine kernels as real computations (each produces a checksum that
+// tests verify), plus a per-kernel memory profile used to charge virtual
+// time. The enclave overhead then *emerges* from the model: every iteration
+// pays EENTER/EEXIT amortization, LLC-missing traffic pays the MEE penalty,
+// and working sets beyond the EPC page in and out through EWB/ELDB — which
+// is what makes String Sort an order of magnitude slower in the enclave,
+// exactly as in the paper's figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace mig::apps {
+
+struct NbenchKernel {
+  std::string name;
+  // Real computation: runs one iteration over scratch state derived from
+  // `seed`, returns a checksum (tests pin these; benches use them to keep
+  // the compiler honest).
+  uint64_t (*run)(uint64_t seed);
+  // Memory profile per iteration, for the virtual-time model.
+  uint64_t work_ns;          // pure compute time, native
+  uint64_t traffic_bytes;    // memory traffic per iteration
+  double llc_miss_rate;      // fraction of traffic that misses the LLC
+  uint64_t footprint_bytes;  // resident working set
+  uint64_t crossings;        // enclave boundary crossings per iteration
+};
+
+const std::vector<NbenchKernel>& nbench_kernels();
+
+// Virtual-time cost of one iteration, native vs in-enclave. In-enclave
+// accesses that miss the LLC pay the MEE factor; working sets beyond the
+// usable EPC page through the driver (amortized EWB+ELDB per overflow page).
+uint64_t nbench_native_ns(const NbenchKernel& k, const sim::CostModel& cm);
+uint64_t nbench_enclave_ns(const NbenchKernel& k, const sim::CostModel& cm,
+                           uint64_t usable_epc_bytes);
+
+}  // namespace mig::apps

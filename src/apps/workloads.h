@@ -1,0 +1,36 @@
+// The real-world application kernels of Fig. 9(b): des, cr4 (RC4), mcrypt,
+// gnupg, libjpeg, libzip — "real world applications which have security
+// requirements, changed to applications with enclave". Each becomes an
+// enclave program with a process-one-block ecall doing genuine computation
+// (our own DES/RC4/AES/modexp/DCT/LZ implementations) plus a calibrated
+// virtual-time charge. The Fig. 9(b) bench runs them with and without the
+// SDK's migration instrumentation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdk/enclave_env.h"
+#include "sdk/program.h"
+
+namespace mig::apps {
+
+inline constexpr uint64_t kWorkloadEcallProcess = 1;  // args: u64 block bytes
+inline constexpr uint64_t kWorkloadEcallDigest = 2;   // -> u64 running digest
+
+struct Workload {
+  std::string name;                 // the paper's label (des, cr4, ...)
+  uint64_t default_block = 4096;    // bytes per process call
+  uint64_t work_ns_per_byte_x100;   // calibrated compute cost
+  std::shared_ptr<sdk::EnclaveProgram> (*make_program)();
+};
+
+// All six Fig. 9(b) workloads.
+const std::vector<Workload>& fig9b_workloads();
+
+// Looks one up by the paper's name ("des", "cr4", "mcrypt", "gnupg",
+// "libjpeg", "libzip"); nullptr when unknown.
+const Workload* find_workload(std::string_view name);
+
+}  // namespace mig::apps

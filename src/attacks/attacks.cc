@@ -1,0 +1,19 @@
+#include "attacks/malicious_os.h"
+
+namespace mig::attacks {
+
+Result<Bytes> naive_checkpoint(sim::ThreadCtx& ctx, guestos::GuestOs& os,
+                               guestos::Process& process,
+                               sdk::EnclaveHost& host) {
+  // The strawman's only safety step: ask the OS. A malicious OS says "OK"
+  // and keeps the workers running.
+  MIG_RETURN_IF_ERROR(os.stop_other_threads(ctx, process, ctx.id()));
+  sdk::ControlCmd cmd;
+  cmd.type = sdk::ControlCmd::Type::kNaiveDump;
+  sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+  os.resume_other_threads(ctx, process, ctx.id());
+  MIG_RETURN_IF_ERROR(reply.status);
+  return std::move(reply.blob);
+}
+
+}  // namespace mig::attacks

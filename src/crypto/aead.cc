@@ -1,0 +1,156 @@
+#include "crypto/aead.h"
+
+#include "crypto/ciphers.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "sim/cost_model.h"
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::crypto {
+
+namespace {
+
+struct SubKeys {
+  Bytes enc;  // width depends on cipher
+  Bytes mac;  // 32 bytes
+};
+
+SubKeys derive(ByteSpan key32, CipherAlg alg) {
+  size_t enc_len = 32;
+  switch (alg) {
+    case CipherAlg::kRc4: enc_len = 16; break;
+    case CipherAlg::kDesCbc: enc_len = 8; break;
+    case CipherAlg::kAes128Cbc:
+    case CipherAlg::kAes128CbcNi: enc_len = 16; break;
+    case CipherAlg::kChaCha20: enc_len = 32; break;
+  }
+  Bytes okm = hkdf(to_bytes("mig-aead"), key32, Bytes{static_cast<uint8_t>(alg)},
+                   enc_len + 32);
+  SubKeys out;
+  out.enc.assign(okm.begin(), okm.begin() + enc_len);
+  out.mac.assign(okm.begin() + enc_len, okm.end());
+  return out;
+}
+
+Bytes cipher_encrypt(CipherAlg alg, ByteSpan key, ByteSpan plaintext) {
+  static const Bytes kZeroIv16(16, 0);
+  static const Bytes kZeroNonce12(12, 0);
+  switch (alg) {
+    case CipherAlg::kRc4:
+      return rc4_apply(key, plaintext);
+    case CipherAlg::kDesCbc:
+      return des_cbc_encrypt(key, plaintext);
+    case CipherAlg::kAes128Cbc:
+    case CipherAlg::kAes128CbcNi:
+      return aes128_cbc_encrypt(key, kZeroIv16, plaintext);
+    case CipherAlg::kChaCha20: {
+      Bytes out(plaintext.begin(), plaintext.end());
+      chacha20_xor(key, kZeroNonce12, 0, out);
+      return out;
+    }
+  }
+  MIG_CHECK_MSG(false, "unknown cipher");
+}
+
+Result<Bytes> cipher_decrypt(CipherAlg alg, ByteSpan key, ByteSpan ciphertext) {
+  static const Bytes kZeroIv16(16, 0);
+  static const Bytes kZeroNonce12(12, 0);
+  switch (alg) {
+    case CipherAlg::kRc4:
+      return rc4_apply(key, ciphertext);
+    case CipherAlg::kDesCbc: {
+      Bytes out = des_cbc_decrypt(key, ciphertext);
+      if (out.empty() && !ciphertext.empty())
+        return Error(ErrorCode::kIntegrityViolation, "DES padding invalid");
+      return out;
+    }
+    case CipherAlg::kAes128Cbc:
+    case CipherAlg::kAes128CbcNi: {
+      Bytes out = aes128_cbc_decrypt(key, kZeroIv16, ciphertext);
+      if (out.empty() && !ciphertext.empty())
+        return Error(ErrorCode::kIntegrityViolation, "AES padding invalid");
+      return out;
+    }
+    case CipherAlg::kChaCha20: {
+      Bytes out(ciphertext.begin(), ciphertext.end());
+      chacha20_xor(key, kZeroNonce12, 0, out);
+      return out;
+    }
+  }
+  return Error(ErrorCode::kInvalidArgument, "unknown cipher algorithm");
+}
+
+}  // namespace
+
+const char* cipher_name(CipherAlg alg) {
+  switch (alg) {
+    case CipherAlg::kRc4: return "RC4";
+    case CipherAlg::kDesCbc: return "DES-CBC";
+    case CipherAlg::kAes128Cbc: return "AES-128-CBC";
+    case CipherAlg::kAes128CbcNi: return "AES-128-CBC(AES-NI)";
+    case CipherAlg::kChaCha20: return "ChaCha20";
+  }
+  return "?";
+}
+
+uint64_t cipher_cost_ns(CipherAlg alg, size_t bytes) {
+  const sim::CostModel& cm = sim::default_cost_model();
+  switch (alg) {
+    case CipherAlg::kRc4: return cm.rc4_ns_per_byte * bytes;
+    case CipherAlg::kDesCbc: return cm.des_ns_per_byte * bytes;
+    case CipherAlg::kAes128Cbc: return cm.aes_sw_ns_per_byte * bytes;
+    case CipherAlg::kAes128CbcNi:
+      return sim::per_byte_x100(cm.aesni_ns_per_byte_x100, bytes);
+    case CipherAlg::kChaCha20:
+      return sim::per_byte_x100(cm.chacha20_ns_per_byte_x100, bytes);
+  }
+  return 0;
+}
+
+Bytes seal(CipherAlg alg, ByteSpan key32, ByteSpan plaintext) {
+  MIG_CHECK(key32.size() == 32);
+  SubKeys keys = derive(key32, alg);
+  // Inner hash, as the paper describes.
+  Bytes inner(plaintext.begin(), plaintext.end());
+  Digest h = Sha256::hash(plaintext);
+  inner.insert(inner.end(), h.begin(), h.end());
+  Bytes ct = cipher_encrypt(alg, keys.enc, inner);
+
+  Writer w;
+  w.u8(static_cast<uint8_t>(alg));
+  w.bytes(ct);
+  Digest tag = hmac_sha256(keys.mac, w.data());
+  w.raw(tag);
+  return w.take();
+}
+
+Result<Bytes> open(ByteSpan key32, ByteSpan sealed) {
+  MIG_CHECK(key32.size() == 32);
+  if (sealed.size() < 1 + 4 + 32)
+    return Error(ErrorCode::kIntegrityViolation, "sealed blob too short");
+  ByteSpan body = sealed.first(sealed.size() - 32);
+  ByteSpan tag = sealed.subspan(sealed.size() - 32);
+
+  Reader rd(body);
+  auto alg = static_cast<CipherAlg>(rd.u8());
+  Bytes ct = rd.bytes();
+  if (!rd.finish().ok())
+    return Error(ErrorCode::kIntegrityViolation, "sealed blob malformed");
+
+  SubKeys keys = derive(key32, alg);
+  Digest expect = hmac_sha256(keys.mac, body);
+  if (!ct_equal(ByteSpan(expect), tag))
+    return Error(ErrorCode::kIntegrityViolation, "MAC mismatch");
+
+  MIG_ASSIGN_OR_RETURN(Bytes inner, cipher_decrypt(alg, keys.enc, ct));
+  if (inner.size() < 32)
+    return Error(ErrorCode::kIntegrityViolation, "inner hash missing");
+  Bytes plaintext(inner.begin(), inner.end() - 32);
+  Digest h = Sha256::hash(plaintext);
+  if (!ct_equal(ByteSpan(h), ByteSpan(inner).subspan(inner.size() - 32)))
+    return Error(ErrorCode::kIntegrityViolation, "inner hash mismatch");
+  return plaintext;
+}
+
+}  // namespace mig::crypto

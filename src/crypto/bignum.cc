@@ -1,0 +1,262 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mig::crypto {
+
+BigNum::BigNum(uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(ByteSpan be) {
+  BigNum out;
+  out.limbs_.assign((be.size() + 3) / 4, 0);
+  for (size_t i = 0; i < be.size(); ++i) {
+    size_t byte_index = be.size() - 1 - i;  // position from LSB
+    out.limbs_[byte_index / 4] |= uint32_t{be[i]} << (8 * (byte_index % 4));
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes(hex_decode(padded));
+}
+
+Bytes BigNum::to_bytes() const {
+  if (limbs_.empty()) return {0};
+  Bytes out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int b = 3; b >= 0; --b) out.push_back(static_cast<uint8_t>(limbs_[i] >> (8 * b)));
+  }
+  size_t first = 0;
+  while (first + 1 < out.size() && out[first] == 0) ++first;
+  return Bytes(out.begin() + first, out.end());
+}
+
+Bytes BigNum::to_bytes_padded(size_t len) const {
+  Bytes raw = to_bytes();
+  MIG_CHECK_MSG(raw.size() <= len, "value too large for padded width");
+  Bytes out(len - raw.size(), 0);
+  append(out, raw);
+  return out;
+}
+
+size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigNum::cmp(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum operator+(const BigNum& a, const BigNum& b) {
+  BigNum out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigNum operator-(const BigNum& a, const BigNum& b) {
+  MIG_CHECK_MSG(!(a < b), "BigNum subtraction underflow");
+  BigNum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t d = int64_t{a.limbs_[i]} - borrow -
+                (i < b.limbs_.size() ? int64_t{b.limbs_[i]} : 0);
+    if (d < 0) {
+      d += int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(d);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum operator*(const BigNum& a, const BigNum& b) {
+  if (a.is_zero() || b.is_zero()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] +
+                     uint64_t{a.limbs_[i]} * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::shifted_left(size_t bits) const {
+  if (is_zero()) return BigNum();
+  size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift)
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (32 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::shifted_right(size_t bits) const {
+  size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigNum, BigNum> BigNum::divmod(const BigNum& a, const BigNum& b) {
+  MIG_CHECK_MSG(!b.is_zero(), "BigNum division by zero");
+  if (a < b) return {BigNum(), a};
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    BigNum q;
+    q.limbs_.resize(a.limbs_.size());
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / b.limbs_[0]);
+      rem = cur % b.limbs_[0];
+    }
+    q.trim();
+    return {q, BigNum(rem)};
+  }
+  // Knuth Algorithm D with 32-bit digits.
+  size_t n = b.limbs_.size();
+  size_t m = a.limbs_.size() - n;
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (uint32_t top = b.limbs_.back(); !(top & 0x80000000u); top <<= 1) ++shift;
+  BigNum u = a.shifted_left(shift);
+  BigNum v = b.shifted_left(shift);
+  u.limbs_.resize(a.limbs_.size() + 1, 0);  // u has m+n+1 digits
+  v.limbs_.resize(n, 0);
+
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat.
+    uint64_t numerator = (uint64_t{u.limbs_[j + n]} << 32) | u.limbs_[j + n - 1];
+    uint64_t q_hat = numerator / v.limbs_[n - 1];
+    uint64_t r_hat = numerator % v.limbs_[n - 1];
+    while (q_hat >= (uint64_t{1} << 32) ||
+           (n >= 2 && q_hat * v.limbs_[n - 2] >
+                          ((r_hat << 32) | u.limbs_[j + n - 2]))) {
+      --q_hat;
+      r_hat += v.limbs_[n - 1];
+      if (r_hat >= (uint64_t{1} << 32)) break;
+    }
+    // D4: multiply and subtract.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = q_hat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      int64_t t = int64_t{u.limbs_[i + j]} - borrow - int64_t(p & 0xffffffffu);
+      if (t < 0) {
+        t += int64_t{1} << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(t);
+    }
+    int64_t t = int64_t{u.limbs_[j + n]} - borrow - int64_t(carry);
+    // D5/D6: if we subtracted too much, add back.
+    if (t < 0) {
+      t += int64_t{1} << 32;
+      --q_hat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t s = uint64_t{u.limbs_[i + j]} + v.limbs_[i] + c;
+        u.limbs_[i + j] = static_cast<uint32_t>(s);
+        c = s >> 32;
+      }
+      t += static_cast<int64_t>(c);
+      t &= 0xffffffff;
+    }
+    u.limbs_[j + n] = static_cast<uint32_t>(t);
+    q.limbs_[j] = static_cast<uint32_t>(q_hat);
+  }
+  q.trim();
+  u.limbs_.resize(n);
+  u.trim();
+  BigNum r = u.shifted_right(shift);
+  return {q, r};
+}
+
+BigNum operator%(const BigNum& a, const BigNum& m) { return BigNum::divmod(a, m).second; }
+BigNum operator/(const BigNum& a, const BigNum& b) { return BigNum::divmod(a, b).first; }
+
+BigNum BigNum::modmul(const BigNum& a, const BigNum& b, const BigNum& m) {
+  return (a * b) % m;
+}
+
+BigNum BigNum::modexp(const BigNum& e, const BigNum& m) const {
+  MIG_CHECK(!m.is_zero());
+  BigNum base = *this % m;
+  BigNum result(1);
+  size_t bits = e.bit_length();
+  for (size_t i = bits; i-- > 0;) {
+    result = modmul(result, result, m);
+    if (e.bit(i)) result = modmul(result, base, m);
+  }
+  return result;
+}
+
+}  // namespace mig::crypto

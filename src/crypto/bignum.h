@@ -1,0 +1,68 @@
+// Minimal arbitrary-precision unsigned integers: exactly what finite-field
+// Diffie–Hellman and Schnorr signatures need (add/sub/mul/divmod/modexp),
+// nothing more. 32-bit limbs, little-endian, schoolbook algorithms — clarity
+// over speed; the cost model supplies the virtual-time price of crypto.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mig::crypto {
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t v);
+
+  // Big-endian byte-string / hex constructors (how keys appear on the wire).
+  static BigNum from_bytes(ByteSpan be);
+  static BigNum from_hex(std::string_view hex);
+
+  Bytes to_bytes() const;                 // big-endian, minimal length
+  Bytes to_bytes_padded(size_t len) const;  // big-endian, left-zero-padded
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t bit_length() const;
+  bool bit(size_t i) const;
+
+  friend BigNum operator+(const BigNum& a, const BigNum& b);
+  // Precondition: a >= b (MIG_CHECK enforced).
+  friend BigNum operator-(const BigNum& a, const BigNum& b);
+  friend BigNum operator*(const BigNum& a, const BigNum& b);
+  friend BigNum operator%(const BigNum& a, const BigNum& m);
+  friend BigNum operator/(const BigNum& a, const BigNum& b);
+
+  friend bool operator==(const BigNum& a, const BigNum& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator<(const BigNum& a, const BigNum& b) {
+    return cmp(a, b) < 0;
+  }
+  friend bool operator<=(const BigNum& a, const BigNum& b) {
+    return cmp(a, b) <= 0;
+  }
+
+  BigNum shifted_left(size_t bits) const;
+  BigNum shifted_right(size_t bits) const;
+
+  // (quotient, remainder); divisor must be nonzero.
+  static std::pair<BigNum, BigNum> divmod(const BigNum& a, const BigNum& b);
+
+  // this^e mod m, square-and-multiply. m must be nonzero.
+  BigNum modexp(const BigNum& e, const BigNum& m) const;
+
+  // (a * b) mod m.
+  static BigNum modmul(const BigNum& a, const BigNum& b, const BigNum& m);
+
+ private:
+  static int cmp(const BigNum& a, const BigNum& b);
+  void trim();
+
+  std::vector<uint32_t> limbs_;  // little-endian; no trailing zero limbs
+};
+
+}  // namespace mig::crypto

@@ -1,0 +1,73 @@
+// Symmetric ciphers used by the reproduction.
+//
+// The paper's prototype evaluates several checkpoint ciphers: RC4 (default in
+// Fig. 9(c), ~200 us for 20 KB), DES (~300 us), and AES-CBC with AES-NI for
+// the memcached experiment (Fig. 11). The simulator's MEE uses ChaCha20.
+// All are from-scratch implementations validated against published vectors;
+// RC4/DES are reproduced for fidelity to the paper, not as a recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mig::crypto {
+
+// ---- ChaCha20 (RFC 8439) --------------------------------------------------
+
+// XORs the ChaCha20 keystream into `data` in place. Encryption == decryption.
+void chacha20_xor(ByteSpan key32, ByteSpan nonce12, uint32_t counter,
+                  MutByteSpan data);
+
+// ---- RC4 -------------------------------------------------------------------
+
+class Rc4 {
+ public:
+  explicit Rc4(ByteSpan key);
+  void xor_stream(MutByteSpan data);
+
+ private:
+  uint8_t s_[256];
+  uint8_t i_ = 0, j_ = 0;
+};
+
+inline Bytes rc4_apply(ByteSpan key, ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  Rc4(key).xor_stream(out);
+  return out;
+}
+
+// ---- DES (FIPS 46-3), CBC mode ---------------------------------------------
+
+class Des {
+ public:
+  explicit Des(ByteSpan key8);  // 8-byte key (parity bits ignored)
+  void encrypt_block(const uint8_t in[8], uint8_t out[8]) const;
+  void decrypt_block(const uint8_t in[8], uint8_t out[8]) const;
+
+ private:
+  std::array<uint64_t, 16> subkeys_;
+};
+
+// CBC with zero IV and PKCS#7-style padding (sufficient for the simulation;
+// every checkpoint uses a fresh key so IV reuse is immaterial here).
+Bytes des_cbc_encrypt(ByteSpan key8, ByteSpan plaintext);
+Bytes des_cbc_decrypt(ByteSpan key8, ByteSpan ciphertext);
+
+// ---- AES-128 (FIPS 197), CBC mode ------------------------------------------
+
+class Aes128 {
+ public:
+  explicit Aes128(ByteSpan key16);
+  void encrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+  void decrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+Bytes aes128_cbc_encrypt(ByteSpan key16, ByteSpan iv16, ByteSpan plaintext);
+Bytes aes128_cbc_decrypt(ByteSpan key16, ByteSpan iv16, ByteSpan ciphertext);
+
+}  // namespace mig::crypto

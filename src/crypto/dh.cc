@@ -1,0 +1,100 @@
+#include "crypto/dh.h"
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::crypto {
+
+namespace {
+constexpr std::string_view kOakley2P =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+
+// Draws an exponent uniformly-enough in [2, q).
+BigNum random_exponent(Drbg& rng, const DhGroup& group) {
+  for (;;) {
+    BigNum x = BigNum::from_bytes(rng.generate(group.byte_len)) % group.q;
+    if (BigNum(2) <= x) return x;
+  }
+}
+}  // namespace
+
+const DhGroup& DhGroup::oakley2() {
+  static const DhGroup group = [] {
+    DhGroup g;
+    g.p = BigNum::from_hex(kOakley2P);
+    g.g = BigNum(2);
+    g.q = (g.p - BigNum(1)) / BigNum(2);
+    g.gq = BigNum(4);
+    g.byte_len = 128;
+    return g;
+  }();
+  return group;
+}
+
+DhKeyPair dh_generate(Drbg& rng, const DhGroup& group) {
+  DhKeyPair kp;
+  kp.priv = random_exponent(rng, group);
+  kp.pub = group.g.modexp(kp.priv, group.p);
+  return kp;
+}
+
+Result<Bytes> dh_shared(const BigNum& priv, const BigNum& peer_pub,
+                        const DhGroup& group) {
+  // Reject degenerate public values a MITM could inject to force a known
+  // shared secret.
+  BigNum p_minus_1 = group.p - BigNum(1);
+  if (peer_pub <= BigNum(1) || !(peer_pub < p_minus_1)) {
+    return Error(ErrorCode::kAuthFailure, "degenerate DH public value");
+  }
+  BigNum shared = peer_pub.modexp(priv, group.p);
+  return shared.to_bytes_padded(group.byte_len);
+}
+
+SigKeyPair sig_keygen(Drbg& rng, const DhGroup& group) {
+  SigKeyPair kp;
+  kp.sk = random_exponent(rng, group);
+  kp.pk = group.gq.modexp(kp.sk, group.p);
+  return kp;
+}
+
+namespace {
+BigNum challenge(const BigNum& r, ByteSpan message, const DhGroup& group) {
+  Bytes input = r.to_bytes_padded(group.byte_len);
+  append(input, message);
+  Digest d = Sha256::hash(input);
+  return BigNum::from_bytes(d) % group.q;
+}
+}  // namespace
+
+Bytes sig_sign(const BigNum& sk, ByteSpan message, Drbg& rng,
+               const DhGroup& group) {
+  BigNum k = random_exponent(rng, group);
+  BigNum r = group.gq.modexp(k, group.p);
+  BigNum e = challenge(r, message, group);
+  BigNum s = (k + BigNum::modmul(e, sk, group.q)) % group.q;
+  Writer w;
+  w.bytes(r.to_bytes_padded(group.byte_len));
+  w.bytes(s.to_bytes());
+  return w.take();
+}
+
+bool sig_verify(const BigNum& pk, ByteSpan message, ByteSpan signature,
+                const DhGroup& group) {
+  Reader rd(signature);
+  Bytes r_bytes = rd.bytes();
+  Bytes s_bytes = rd.bytes();
+  if (!rd.finish().ok()) return false;
+  BigNum r = BigNum::from_bytes(r_bytes);
+  BigNum s = BigNum::from_bytes(s_bytes);
+  if (r.is_zero() || !(r < group.p) || !(s < group.q)) return false;
+  BigNum e = challenge(r, message, group);
+  BigNum lhs = group.gq.modexp(s, group.p);
+  BigNum rhs = BigNum::modmul(r, pk.modexp(e, group.p), group.p);
+  return lhs == rhs;
+}
+
+}  // namespace mig::crypto

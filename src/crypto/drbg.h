@@ -1,0 +1,51 @@
+// Deterministic random bit generator (HMAC-chain construction, in the spirit
+// of HMAC_DRBG). Every "random" value in the model — Kmigrate, DH exponents,
+// Schnorr nonces, per-CPU hardware keys — comes from a Drbg whose seed is
+// controlled by the test/bench, keeping the whole simulation reproducible.
+#pragma once
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace mig::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(ByteSpan seed) {
+    Digest d = hmac_sha256(to_bytes("mig-drbg-init"), seed);
+    state_.assign(d.begin(), d.end());
+  }
+
+  Bytes generate(size_t n) {
+    Bytes out;
+    while (out.size() < n) {
+      Digest block = hmac_sha256(state_, to_bytes("out"));
+      Digest next = hmac_sha256(state_, to_bytes("next"));
+      state_.assign(next.begin(), next.end());
+      out.insert(out.end(), block.begin(), block.end());
+    }
+    out.resize(n);
+    return out;
+  }
+
+  uint64_t generate_u64() {
+    Bytes b = generate(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  // Derives an independent child generator (e.g. one per enclave).
+  Drbg fork(ByteSpan label) {
+    Bytes seed = state_;
+    append(seed, label);
+    Digest next = hmac_sha256(state_, to_bytes("fork"));
+    state_.assign(next.begin(), next.end());
+    return Drbg(seed);
+  }
+
+ private:
+  Bytes state_;
+};
+
+}  // namespace mig::crypto

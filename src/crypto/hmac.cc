@@ -1,0 +1,55 @@
+#include "crypto/hmac.h"
+
+#include "util/check.h"
+
+namespace mig::crypto {
+
+Digest hmac_sha256(ByteSpan key, ByteSpan message) {
+  uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k);
+  } else {
+    std::copy(key.begin(), key.end(), k);
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ByteSpan(ipad, 64));
+  inner.update(message);
+  Digest inner_d = inner.finish();
+  Sha256 outer;
+  outer.update(ByteSpan(opad, 64));
+  outer.update(inner_d);
+  return outer.finish();
+}
+
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t out_len) {
+  MIG_CHECK(out_len <= 255 * 32);
+  Digest prk = hmac_sha256(salt, ikm);
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    Digest d = hmac_sha256(prk, block);
+    t.assign(d.begin(), d.end());
+    append(out, t);
+  }
+  out.resize(out_len);
+  return out;
+}
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace mig::crypto

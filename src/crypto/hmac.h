@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC authenticates EWB-evicted pages, checkpoint blobs, local-attestation
+// reports and secure-channel frames. HKDF turns DH shared secrets into the
+// channel keys (Kmigrate transport) and derives the per-CPU SGX key tree.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace mig::crypto {
+
+Digest hmac_sha256(ByteSpan key, ByteSpan message);
+
+// HKDF-Extract + Expand in one call; `out_len` <= 255*32.
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t out_len);
+
+// Constant-time comparison; returns true iff equal (and sizes match).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace mig::crypto

@@ -1,0 +1,130 @@
+// Guest operating system model (§VI-B, §VI-D of the paper).
+//
+// Owns the processes running in the VM, the SGX driver, and the migration
+// pipeline of Fig. 8: when the hypervisor injects the migration upcall, the
+// guest refuses new enclave creation, sends the migration signal (SIGUSR1)
+// to every enclave process, waits for each process's SGX library to report
+// its enclaves ready, and tells the hypervisor to proceed. On the target it
+// rebuilds enclaves one by one (which is why Fig. 10(a) is linear).
+//
+// The guest OS is UNTRUSTED: the enclave-side protocol never depends on it
+// for anything but liveness. MaliciousGuestOs (attacks/malicious_os.h)
+// overrides the scheduling services to mount the §IV-A data-consistency
+// attack against naive checkpointing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "guestos/sgx_driver.h"
+#include "hv/machine.h"
+#include "hv/vm.h"
+
+namespace mig::guestos {
+
+class GuestOs;
+
+// A guest process. Host-side application threads are sim threads tracked
+// here; the in-process SGX library registers migration handlers with it.
+class Process {
+ public:
+  Process(GuestOs& os, uint64_t pid, std::string name)
+      : os_(&os), pid_(pid), name_(std::move(name)) {}
+
+  uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  GuestOs& os() { return *os_; }
+
+  // Spawns an application thread (tracked for stop_other_threads()).
+  sim::ThreadId spawn_thread(std::string name,
+                             std::function<void(sim::ThreadCtx&)> fn,
+                             bool daemon = false);
+  const std::vector<sim::ThreadId>& threads() const { return threads_; }
+
+  // Registered by the SGX library (sdk::EnclaveHost). The prepare handler
+  // runs on the signal-delivery thread, drives the control threads, and
+  // returns the total checkpoint bytes dumped; the resume handler rebuilds
+  // and restores this process's enclaves on the target.
+  using PrepareFn = std::function<Result<uint64_t>(sim::ThreadCtx&)>;
+  using ResumeFn = std::function<Status(sim::ThreadCtx&)>;
+  void register_migration_handlers(PrepareFn prepare, ResumeFn resume) {
+    prepare_ = std::move(prepare);
+    resume_ = std::move(resume);
+  }
+  bool has_enclaves() const { return static_cast<bool>(prepare_); }
+  size_t enclave_count = 0;  // maintained by the SGX library
+
+ private:
+  friend class GuestOs;
+  GuestOs* os_;
+  uint64_t pid_;
+  std::string name_;
+  std::vector<sim::ThreadId> threads_;
+  PrepareFn prepare_;
+  ResumeFn resume_;
+};
+
+class GuestOs : public hv::GuestHooks {
+ public:
+  GuestOs(hv::Machine& machine, hv::Vm& vm);
+  ~GuestOs() override;
+
+  Process& create_process(std::string name);
+  SgxDriver& driver() { return *driver_; }
+  hv::Machine& machine() { return *machine_; }
+  hv::Vm& vm() { return *vm_; }
+  sim::Executor& executor() { return machine_->executor(); }
+  const sim::CostModel& cost() const { return machine_->cost(); }
+
+  // ioctl path used by the SGX library; refused during migration (§VI-D:
+  // "it will refuse to create any new enclaves till the end of migration").
+  Result<sgx::EnclaveId> create_enclave(sim::ThreadCtx& ctx,
+                                        Process& process,
+                                        const sgx::EnclaveImage& image);
+  Status destroy_enclave(sim::ThreadCtx& ctx, Process& process,
+                         sgx::EnclaveId eid);
+
+  // ---- scheduling services (used by *naive* checkpointing; the paper's
+  // two-phase protocol deliberately does not trust these) ----
+  // Suspends all threads of `process` except `requester`. The honest
+  // implementation actually parks them; a malicious OS lies.
+  virtual Status stop_other_threads(sim::ThreadCtx& ctx, Process& process,
+                                    sim::ThreadId requester);
+  virtual void resume_other_threads(sim::ThreadCtx& ctx, Process& process,
+                                    sim::ThreadId requester);
+
+  // ---- hv::GuestHooks (Fig. 8 pipeline) ----
+  Result<uint64_t> prepare_enclaves_for_migration(sim::ThreadCtx& ctx) override;
+  Result<uint64_t> resume_enclaves_after_migration(sim::ThreadCtx& ctx) override;
+  uint64_t enclave_count() const override;
+  bool ready_to_stop() override {
+    return !stop_gate_ || stop_gate_();
+  }
+  // Lets migration infrastructure delay stop-and-copy (e.g. until agent key
+  // pre-delivery finished).
+  void set_stop_gate(std::function<bool()> gate) {
+    stop_gate_ = std::move(gate);
+  }
+
+  bool migration_in_progress() const { return migration_in_progress_; }
+
+  // Arranges for the guest to re-attach to `target` when it resumes there
+  // (the orchestrator calls this before starting the migration; the "device
+  // re-probe" happens inside resume_enclaves_after_migration).
+  void set_migration_target(hv::Machine& target) { pending_target_ = &target; }
+
+ private:
+  hv::Machine* machine_;
+  hv::Vm* vm_;
+  std::unique_ptr<SgxDriver> driver_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  uint64_t next_pid_ = 1;
+  bool migration_in_progress_ = false;
+  hv::Machine* pending_target_ = nullptr;
+  std::function<bool()> stop_gate_;
+};
+
+}  // namespace mig::guestos

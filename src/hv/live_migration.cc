@@ -1,0 +1,190 @@
+#include "hv/live_migration.h"
+
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::hv {
+
+namespace {
+
+enum class Tag : uint8_t {
+  kRound = 1,      // pre-copy round: u64 pages, u64 extra_bytes
+  kRoundAck = 2,
+  kStop = 3,       // final stop-and-copy round: u64 pages, u64 record_bytes
+  kResumeAck = 4,  // u64 target resume timestamp (ns)
+  kRestoreDone = 5,  // u64 enclave restore ns, u64 error flag
+  kAbort = 6,      // source-side failure: the migration is off
+};
+
+Bytes msg(Tag tag, uint64_t a = 0, uint64_t b = 0) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(tag));
+  w.u64(a);
+  w.u64(b);
+  return w.take();
+}
+
+struct Parsed {
+  Tag tag;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+Result<Parsed> parse(ByteSpan data) {
+  Reader r(data);
+  Parsed p;
+  p.tag = static_cast<Tag>(r.u8());
+  p.a = r.u64();
+  p.b = r.u64();
+  MIG_RETURN_IF_ERROR(r.finish());
+  return p;
+}
+
+}  // namespace
+
+Result<MigrationReport> LiveMigrationEngine::migrate_source(
+    sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End link) {
+  MigrationReport report;
+  const uint64_t page = cost_->page_size;
+  uint64_t start = ctx.now();
+  uint64_t dirty = vm.used_pages();  // round 0 sends everything in use
+
+  // --- iterative pre-copy while the VM runs ---
+  for (uint64_t round = 0; round < params_.max_rounds; ++round) {
+    if (dirty <= params_.stop_copy_threshold_pages) break;
+    uint64_t round_start = ctx.now();
+    // Dirty-bitmap scan + queueing.
+    ctx.work_atomic(cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
+    uint64_t bytes = dirty * page;
+    link.send_sized(ctx, msg(Tag::kRound, dirty, 0), bytes);
+    report.transferred_bytes += bytes;
+    // Backpressure: wait for the target to drain the round.
+    Bytes ack = link.recv(ctx);
+    MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
+    if (p.tag != Tag::kRoundAck)
+      return Error(ErrorCode::kInternal, "migration protocol desync");
+    uint64_t round_ns = ctx.now() - round_start;
+    dirty = vm.pages_dirtied_over(round_ns);
+    report.rounds += 1;
+  }
+
+  // --- Fig. 8 pipeline: prepare enclaves while the VM still runs ---
+  uint64_t checkpoint_bytes = 0;
+  uint64_t record_bytes = 0;
+  if (vm.hooks() != nullptr) {
+    uint64_t prep_start = ctx.now();
+    Result<uint64_t> prep = vm.hooks()->prepare_enclaves_for_migration(ctx);
+    if (!prep.ok()) {
+      link.send(ctx, msg(Tag::kAbort));
+      return prep.status();
+    }
+    uint64_t extra = *prep;
+    report.enclave_prepare_ns = ctx.now() - prep_start;
+    report.enclave_extra_bytes = extra;
+    // Encrypted checkpoints land in normal VM memory: ship them in one more
+    // running-VM round together with whatever was dirtied meanwhile.
+    checkpoint_bytes = extra;
+    dirty += vm.pages_dirtied_over(report.enclave_prepare_ns);
+    // Per-enclave creation/destruction records must be consistent with the
+    // final memory image, so they ride in the stop-and-copy round.
+    record_bytes = vm.hooks()->enclave_count() * 2048;
+    // Ship the checkpoints, then keep pre-copying until the dirty set has
+    // re-converged AND the guest is fully ready to switch (key pre-delivery
+    // to the agent may still be riding on the WAN, §VI-D — the VM keeps
+    // running meanwhile, which is how that latency stays hidden).
+    uint64_t pending_extra = checkpoint_bytes;
+    for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
+         ++extra_rounds) {
+      if (dirty <= params_.stop_copy_threshold_pages &&
+          vm.hooks()->ready_to_stop()) {
+        break;
+      }
+      if (dirty <= params_.stop_copy_threshold_pages) {
+        // Converged but not ready: idle in pre-copy a little longer.
+        ctx.sleep(5'000'000);
+        dirty += vm.pages_dirtied_over(5'000'000);
+        continue;
+      }
+      uint64_t round_start = ctx.now();
+      uint64_t bytes = dirty * page + pending_extra;
+      link.send_sized(ctx, msg(Tag::kRound, dirty, pending_extra), bytes);
+      pending_extra = 0;
+      report.transferred_bytes += bytes;
+      Bytes ack = link.recv(ctx);
+      MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
+      if (p.tag != Tag::kRoundAck)
+        return Error(ErrorCode::kInternal, "migration protocol desync");
+      dirty = vm.pages_dirtied_over(ctx.now() - round_start);
+      report.rounds += 1;
+    }
+  }
+
+  // --- stop-and-copy ---
+  uint64_t stop_time = ctx.now();
+  vm.set_running(false);
+  ctx.work_atomic(cost_->vm_stop_resume_ns / 2);  // pause + device save
+  uint64_t final_bytes = dirty * page + record_bytes;
+  link.send_sized(ctx, msg(Tag::kStop, dirty, record_bytes), final_bytes);
+  report.transferred_bytes += final_bytes;
+
+  Bytes ack = link.recv(ctx);
+  MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
+  if (p.tag != Tag::kResumeAck)
+    return Error(ErrorCode::kInternal, "no resume ack");
+  report.downtime_ns = p.a - stop_time;
+
+  // Wait for the guest-side enclave restore report (Fig. 10(a)).
+  if (vm.hooks() != nullptr) {
+    Bytes done = link.recv(ctx);
+    MIG_ASSIGN_OR_RETURN(Parsed d, parse(done));
+    if (d.tag != Tag::kRestoreDone)
+      return Error(ErrorCode::kInternal, "no restore report");
+    if (d.b != 0)
+      return Error(ErrorCode::kAborted, "enclave restore failed on target");
+    report.enclave_restore_ns = d.a;
+  }
+  report.total_ns = ctx.now() - start;
+  report.success = true;
+  return report;
+}
+
+Result<MigrationReport> LiveMigrationEngine::migrate_target(
+    sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End link) {
+  MigrationReport report;
+  uint64_t start = ctx.now();
+  for (;;) {
+    Bytes m = link.recv(ctx);
+    MIG_ASSIGN_OR_RETURN(Parsed p, parse(m));
+    if (p.tag == Tag::kRound) {
+      // Applying pages into guest RAM: modeled inside the link throughput
+      // (the effective rate already includes both ends' page processing).
+      link.send(ctx, msg(Tag::kRoundAck));
+      continue;
+    }
+    if (p.tag == Tag::kAbort)
+      return Error(ErrorCode::kAborted, "source aborted the migration");
+    if (p.tag != Tag::kStop)
+      return Error(ErrorCode::kInternal, "unexpected migration message");
+    // Apply final pages + device state, then resume the VM.
+    ctx.work_atomic(cost_->vm_stop_resume_ns / 2);
+    vm.set_running(true);
+    uint64_t resume_time = ctx.now();
+    link.send(ctx, msg(Tag::kResumeAck, resume_time));
+    // Enclave rebuild/restore happens with the VM already live.
+    if (vm.hooks() != nullptr) {
+      Result<uint64_t> restore = vm.hooks()->resume_enclaves_after_migration(ctx);
+      if (!restore.ok()) {
+        link.send(ctx, msg(Tag::kRestoreDone, 0, /*error=*/1));
+        return restore.status();
+      }
+      report.enclave_restore_ns = *restore;
+      link.send(ctx, msg(Tag::kRestoreDone, *restore));
+    }
+    report.downtime_ns = 0;  // target does not observe source stop time
+    report.total_ns = ctx.now() - start;
+    report.success = true;
+    return report;
+  }
+}
+
+}  // namespace mig::hv

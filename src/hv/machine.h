@@ -1,0 +1,76 @@
+// Physical-machine and world aggregates.
+//
+// A World is one simulated universe: the executor (virtual time), the cost
+// model, the attestation service, and the physical machines. A Machine is
+// one SGX-capable host: its hardware engine, quoting enclave and hypervisor
+// (KVM stand-in). The paper's testbed is a World with two Machines connected
+// by a Channel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "sgx/attestation.h"
+#include "sgx/hardware.h"
+#include "sim/cost_model.h"
+#include "sim/executor.h"
+#include "sim/network.h"
+
+namespace mig::hv {
+
+class Hypervisor;
+
+class Machine {
+ public:
+  Machine(sim::Executor& exec, const sim::CostModel& cost, crypto::Drbg rng,
+          sgx::HardwareConfig hw_config);
+  ~Machine();
+
+  const std::string& name() const { return hw_.config().machine_name; }
+  sgx::SgxHardware& hw() { return hw_; }
+  sgx::QuotingEnclave& qe() { return qe_; }
+  Hypervisor& hypervisor() { return *hypervisor_; }
+  const sim::CostModel& cost() const { return *cost_; }
+  sim::Executor& executor() { return *exec_; }
+
+ private:
+  sim::Executor* exec_;
+  const sim::CostModel* cost_;
+  sgx::SgxHardware hw_;
+  sgx::QuotingEnclave qe_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+};
+
+class World {
+ public:
+  explicit World(int cpus_per_machine = 4, uint64_t seed = 0x5109,
+                 const sim::CostModel& cost = sim::default_cost_model());
+
+  // Creates a machine and registers its quoting enclave with the attestation
+  // service (models EPID provisioning at manufacturing).
+  Machine& add_machine(const std::string& name, uint64_t epc_pages = 24'576,
+                       bool migration_ext = false);
+
+  // A LAN channel between two machines (the migration link).
+  std::unique_ptr<sim::Channel> make_channel() {
+    return std::make_unique<sim::Channel>(exec_, *cost_);
+  }
+
+  sim::Executor& executor() { return exec_; }
+  sgx::AttestationService& ias() { return ias_; }
+  const sim::CostModel& cost() const { return *cost_; }
+  crypto::Drbg fork_rng(std::string_view label) {
+    return rng_.fork(to_bytes(label));
+  }
+
+ private:
+  const sim::CostModel* cost_;
+  sim::Executor exec_;
+  crypto::Drbg rng_;
+  sgx::AttestationService ias_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace mig::hv

@@ -1,0 +1,92 @@
+// Guest VM model.
+//
+// VM memory is modeled as page-count metadata plus a dirtying workload (the
+// pre-copy engine in live_migration.cc only needs "how many pages are dirty
+// when"), NOT as 2 GB of real buffers. Enclave memory, by contrast, is real
+// bytes inside sgx::SgxHardware — it is the thing being migrated faithfully.
+//
+// GuestHooks is the seam between the hypervisor and the guest OS: the
+// hypervisor's migration engine calls prepare_enclaves_for_migration() (the
+// upcall + SIGUSR1 + two-phase-checkpoint pipeline of Fig. 8, steps 2-6) and,
+// on the target, resume_enclaves_after_migration() (rebuild + restore).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/executor.h"
+#include "util/status.h"
+
+namespace mig::hv {
+
+// Implemented by guestos::GuestOs.
+class GuestHooks {
+ public:
+  virtual ~GuestHooks() = default;
+
+  // Fig. 8 steps 2-6 on the source. Returns the number of bytes the guest
+  // added to VM memory for migration (encrypted checkpoints + enclave
+  // records) — they ride along in the final memory rounds.
+  virtual Result<uint64_t> prepare_enclaves_for_migration(
+      sim::ThreadCtx& ctx) = 0;
+
+  // Target side, after the VM is running again: rebuild the enclaves from
+  // the records and let control threads restore them. Returns the restore
+  // time in ns (Fig. 10(a)).
+  virtual Result<uint64_t> resume_enclaves_after_migration(
+      sim::ThreadCtx& ctx) = 0;
+
+  virtual uint64_t enclave_count() const = 0;
+
+  // The engine keeps the VM in pre-copy until this returns true (e.g. agent
+  // key pre-delivery still in flight, §VI-D). Default: always ready.
+  virtual bool ready_to_stop() { return true; }
+};
+
+struct VmConfig {
+  std::string name = "guest";
+  int vcpus = 4;
+  uint64_t memory_mb = 2048;
+  // Fraction of memory actually in use (QEMU skips never-touched pages).
+  double used_fraction = 0.44;
+};
+
+// How fast the guest dirties memory while running (drives pre-copy rounds).
+struct DirtyModel {
+  uint64_t pages_per_sec = 1'600;       // ~6.5 MB/s of writes
+  uint64_t working_set_pages = 40'000;  // dirtying saturates here (~160 MB)
+};
+
+class Vm {
+ public:
+  Vm(VmConfig config, DirtyModel dirty) : config_(config), dirty_(dirty) {}
+
+  const VmConfig& config() const { return config_; }
+  const DirtyModel& dirty_model() const { return dirty_; }
+
+  uint64_t total_pages() const { return config_.memory_mb * 256; }  // 4 KB pages
+  uint64_t used_pages() const {
+    return static_cast<uint64_t>(total_pages() * config_.used_fraction);
+  }
+
+  bool running() const { return running_; }
+  void set_running(bool r) { running_ = r; }
+
+  void set_hooks(GuestHooks* hooks) { hooks_ = hooks; }
+  GuestHooks* hooks() const { return hooks_; }
+
+  // Pages dirtied over a running interval, per the dirty model.
+  uint64_t pages_dirtied_over(uint64_t ns) const {
+    if (!running_) return 0;
+    uint64_t pages = dirty_.pages_per_sec * ns / 1'000'000'000;
+    return std::min(pages, dirty_.working_set_pages);
+  }
+
+ private:
+  VmConfig config_;
+  DirtyModel dirty_;
+  bool running_ = true;
+  GuestHooks* hooks_ = nullptr;
+};
+
+}  // namespace mig::hv

@@ -1,0 +1,80 @@
+#include "migration/owner.h"
+
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/serde.h"
+
+namespace mig::migration {
+
+void EnclaveOwner::enroll(const crypto::Digest& mrenclave,
+                          sdk::OwnerCredentials creds) {
+  Enrolled e;
+  e.creds = std::move(creds);
+  e.kencrypt = rng_.fork(to_bytes("kencrypt")).generate(32);
+  enrolled_[Bytes(mrenclave.begin(), mrenclave.end())] = std::move(e);
+}
+
+Bytes EnclaveOwner::kencrypt_for(const crypto::Digest& mrenclave) {
+  auto it = enrolled_.find(Bytes(mrenclave.begin(), mrenclave.end()));
+  return it == enrolled_.end() ? Bytes{} : it->second.kencrypt;
+}
+
+void EnclaveOwner::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
+  Bytes request = end.recv(ctx);
+  Reader r(request);
+  std::string verb = r.str();
+  Bytes dh_pub_e = r.bytes();
+  Bytes quote_wire = r.bytes();
+  auto refuse = [&](std::string why) {
+    Writer w;
+    w.str("REFUSED:" + why);
+    w.bytes({});
+    w.bytes({});
+    end.send(ctx, w.take());
+  };
+  if (!r.finish().ok()) return refuse("malformed");
+
+  // Verify the quote through the attestation service (the owner's own WAN
+  // round trip to IAS).
+  auto quote = sgx::Quote::deserialize(quote_wire);
+  if (!quote.ok()) return refuse("bad quote");
+  ctx.sleep(2 * sim::default_cost_model().wan_latency_ns);
+  sgx::AttestationVerdict verdict =
+      ias_->verify(ctx, *quote, rng_.generate(16));
+  if (!verdict.ok) return refuse("attestation failed");
+  crypto::Digest bind = crypto::Sha256::hash(dh_pub_e);
+  if (!crypto::ct_equal(ByteSpan(verdict.report_data), ByteSpan(bind)))
+    return refuse("quote does not bind DH value");
+
+  auto it = enrolled_.find(Bytes(verdict.mrenclave.begin(),
+                                 verdict.mrenclave.end()));
+  if (it == enrolled_.end()) return refuse("unknown enclave");
+
+  Bytes payload;
+  if (verb == "PROVISION") {
+    payload = it->second.creds.provisioning_key;
+  } else if (verb == "CKPT") {
+    payload = it->second.kencrypt;
+  } else if (verb == "RESTORE") {
+    if (!allow_restore_) return refuse("restore refused by owner policy");
+    payload = it->second.kencrypt;
+  } else {
+    return refuse("unknown verb");
+  }
+  audit_.push_back(AuditEntry{verb, verdict.mrenclave, ctx.now()});
+
+  ctx.work(sim::default_cost_model().dh_keygen_ns +
+           sim::default_cost_model().dh_shared_ns);
+  crypto::DhKeyPair kp = crypto::dh_generate(rng_);
+  auto shared = crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_e));
+  if (!shared.ok()) return refuse("degenerate DH value");
+  Bytes session = crypto::hkdf(to_bytes("owner-channel"), *shared, dh_pub_e, 32);
+  Writer w;
+  w.str("OWNERKEY");
+  w.bytes(kp.pub.to_bytes_padded(128));
+  w.bytes(crypto::seal(crypto::CipherAlg::kChaCha20, session, payload));
+  end.send(ctx, w.take());
+}
+
+}  // namespace mig::migration

@@ -1,0 +1,305 @@
+#include "migration/session.h"
+
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::migration {
+
+// ------------------------------------------------------------ EnclaveMigrator
+
+Result<Bytes> EnclaveMigrator::prepare(sim::ThreadCtx& ctx,
+                                       sdk::EnclaveHost& host,
+                                       const EnclaveMigrateOptions& opts) {
+  host.begin_parking();
+  sdk::ControlCmd cmd;
+  cmd.type = sdk::ControlCmd::Type::kPrepareCheckpoint;
+  cmd.cipher = opts.cipher;
+  sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+  MIG_RETURN_IF_ERROR(reply.status);
+  return std::move(reply.blob);
+}
+
+Status EnclaveMigrator::deliver_key_to_agent(
+    sim::ThreadCtx& ctx, sdk::EnclaveInstance& source_instance,
+    sdk::ControlMailbox& agent_mailbox) {
+  auto channel = world_->make_channel();
+  // Two concurrent parties: source control serves, agent control fetches.
+  struct Outcome {
+    sim::Event done;
+    Status status = OkStatus();
+    explicit Outcome(sim::Executor& e) : done(e) {}
+  } serve_out(world_->executor());
+  sdk::ControlMailbox* source_mailbox = source_instance.mailbox.get();
+  sim::Channel* ch = channel.get();
+  world_->executor().spawn("serve-key-agent", [&, source_mailbox,
+                                               ch](sim::ThreadCtx& c) {
+    sdk::ControlCmd serve;
+    serve.type = sdk::ControlCmd::Type::kServeKey;
+    serve.channel = ch->a();
+    serve.allow_agent_recipient = true;
+    serve_out.status = source_mailbox->post(c, serve).status;
+    serve_out.done.set(c);
+  });
+  sdk::ControlCmd fetch;
+  fetch.type = sdk::ControlCmd::Type::kAgentFetchKey;
+  fetch.channel = channel->b();
+  Status fetch_status = agent_mailbox.post(ctx, fetch).status;
+  serve_out.done.wait(ctx);
+  MIG_RETURN_IF_ERROR(serve_out.status);
+  return fetch_status;
+}
+
+Status EnclaveMigrator::restore(
+    sim::ThreadCtx& ctx, sdk::EnclaveHost& host, hv::Machine& source_machine,
+    std::unique_ptr<sdk::EnclaveInstance> source_instance, Bytes checkpoint,
+    const EnclaveMigrateOptions& opts) {
+  // Step-1: virgin enclave from the same image, on the guest's current
+  // (target) machine.
+  MIG_RETURN_IF_ERROR(host.create(ctx));
+
+  sdk::ControlCmd restore_cmd;
+  restore_cmd.type = sdk::ControlCmd::Type::kRestore;
+  restore_cmd.cipher = opts.cipher;
+  restore_cmd.blob = std::move(checkpoint);
+
+  std::unique_ptr<sim::Channel> channel;
+  struct ServeOutcome {
+    sim::Event done;
+    Status status = OkStatus();
+    explicit ServeOutcome(sim::Executor& e) : done(e) {}
+  };
+  std::unique_ptr<ServeOutcome> serve_out;
+
+  if (opts.agent != nullptr) {
+    // Key already parked in the agent (deliver_key_to_agent ran earlier):
+    // local attestation only.
+    restore_cmd.agent = opts.agent;
+  } else {
+    // Step-2: direct handshake with the source enclave's control thread.
+    channel = world_->make_channel();
+    serve_out = std::make_unique<ServeOutcome>(world_->executor());
+    sdk::ControlMailbox* source_mailbox = source_instance->mailbox.get();
+    sim::Channel* ch = channel.get();
+    ServeOutcome* out = serve_out.get();
+    world_->executor().spawn("serve-key", [source_mailbox, ch,
+                                           out](sim::ThreadCtx& c) {
+      sdk::ControlCmd serve;
+      serve.type = sdk::ControlCmd::Type::kServeKey;
+      serve.channel = ch->a();
+      out->status = source_mailbox->post(c, serve).status;
+      out->done.set(c);
+    });
+    restore_cmd.channel = channel->b();
+  }
+
+  // Step-3: decrypt + restore memory; get the pump plan.
+  sdk::ControlReply restored = host.mailbox().post(ctx, restore_cmd);
+  if (serve_out != nullptr) {
+    serve_out->done.wait(ctx);
+    MIG_RETURN_IF_ERROR(serve_out->status);
+  }
+  MIG_RETURN_IF_ERROR(restored.status);
+
+  // Step-3 (cont.): the untrusted library replays EENTER/AEX to pump CSSA.
+  for (const sdk::PumpPlan& plan : restored.pumps) {
+    MIG_RETURN_IF_ERROR(host.pump_cssa(ctx, plan.worker_idx, plan.pumps));
+  }
+  // Step-4: in-enclave verification of the restored CSSA; SSA rebuild.
+  sdk::ControlCmd finish;
+  finish.type = sdk::ControlCmd::Type::kFinishRestore;
+  MIG_RETURN_IF_ERROR(host.mailbox().post(ctx, finish).status);
+
+  host.finish_migration(ctx, restored.pumps);
+
+  if (opts.leave_source_alive) {
+    // Fork-attack simulation: the malicious operator keeps the source
+    // enclave around. Leak it deliberately; self-destroy already neutered it.
+    source_instance.release();
+    return OkStatus();
+  }
+  // The source enclave self-destroyed when it served the key; the source
+  // host reclaims its EPC.
+  return host.destroy_detached(ctx, source_machine,
+                               std::move(source_instance));
+}
+
+// --------------------------------------------------------------- AgentEnclave
+
+Result<std::unique_ptr<AgentEnclave>> AgentEnclave::create(
+    sim::ThreadCtx& ctx, hv::World& world, guestos::GuestOs& host_os,
+    const crypto::SigKeyPair& dev_signer, const crypto::SigKeyPair& identity,
+    crypto::Drbg rng) {
+  sdk::BuildInput in;
+  in.program = std::make_shared<sdk::EnclaveProgram>("migration-agent");
+  in.layout.num_workers = 1;  // minimal; only the control thread matters
+  in.identity_override = identity;
+  sdk::BuildOutput built = sdk::build_enclave_image(
+      in, dev_signer, world.ias().service_pk(), rng);
+  crypto::Digest agent_mrenclave = built.image.measure();
+
+  auto agent = std::unique_ptr<AgentEnclave>(new AgentEnclave());
+  guestos::Process& proc = host_os.create_process("agent");
+  agent->host_ = std::make_unique<sdk::EnclaveHost>(
+      host_os, proc, std::move(built), world.ias(),
+      rng.fork(to_bytes("agent-host")));
+  MIG_RETURN_IF_ERROR(agent->host_->create(ctx));
+
+  agent->port_.set_target_info(sgx::TargetInfo{agent_mrenclave});
+  sdk::ControlMailbox* mailbox = &agent->host_->mailbox();
+  agent->port_.set_handler(
+      [mailbox](sim::ThreadCtx& c,
+                const sdk::AgentPort::Request& req) -> sdk::AgentPort::Response {
+        sdk::ControlCmd cmd;
+        cmd.type = sdk::ControlCmd::Type::kAgentServeLocal;
+        cmd.agent_request = req;
+        sdk::ControlReply reply = mailbox->post(c, cmd);
+        sdk::AgentPort::Response resp;
+        resp.status = reply.status;
+        if (reply.status.ok()) {
+          Reader r(reply.blob);
+          resp.dh_pub = r.bytes();
+          resp.enc_kmigrate = r.bytes();
+          if (!r.finish().ok())
+            resp.status = Error(ErrorCode::kInternal, "bad agent reply");
+        }
+        return resp;
+      });
+  return agent;
+}
+
+// --------------------------------------------------------- VmMigrationSession
+
+VmMigrationSession::VmMigrationSession(hv::World& world, hv::Vm& vm,
+                                       guestos::GuestOs& guest,
+                                       hv::Machine& source,
+                                       hv::Machine& target, Options opts)
+    : world_(&world),
+      vm_(&vm),
+      guest_(&guest),
+      source_(&source),
+      target_(&target),
+      opts_(std::move(opts)),
+      migrator_(world) {}
+
+void VmMigrationSession::manage(sdk::EnclaveHost& host) {
+  guestos::Process* proc = &host.process();
+  auto [it, inserted] = managed_.try_emplace(proc);
+  it->second.push_back(ManagedEnclave{&host, {}, nullptr});
+  if (inserted) {
+    proc->register_migration_handlers(
+        [this, proc](sim::ThreadCtx& c) { return prepare_process(c, proc); },
+        [this, proc](sim::ThreadCtx& c) { return resume_process(c, proc); });
+  }
+}
+
+// Host-side footprint every enclave application drags along in VM memory:
+// the enclave image (the target rebuilds from it), the SDK runtime/libc, the
+// driver's swap area for that enclave. This is why the enclave-carrying VM
+// of Fig. 10(d) ships visibly more memory than its twin.
+constexpr uint64_t kEnclaveAppFootprintBytes = 512ull * 1024;
+
+Result<uint64_t> VmMigrationSession::prepare_process(sim::ThreadCtx& ctx,
+                                                     guestos::Process* p) {
+  uint64_t total = 0;
+  EnclaveMigrateOptions opts;
+  opts.cipher = opts_.cipher;
+  for (ManagedEnclave& m : managed_[p]) {
+    MIG_ASSIGN_OR_RETURN(m.checkpoint, migrator_.prepare(ctx, *m.host, opts));
+    total += m.checkpoint.size() + kEnclaveAppFootprintBytes;
+    // The enclave is quiescent; the instance stays alive on the source for
+    // the key handshake.
+    m.source_instance = m.host->detach_instance();
+    // §VI-D: pre-deliver the key to the target-side agent concurrently with
+    // the remaining pre-copy rounds — the WAN attestation latency is hidden
+    // behind the memory transfer, never on the suspend or restore path.
+    if (agent_ != nullptr) {
+      m.key_delivered = std::make_unique<sim::Event>(world_->executor());
+      ManagedEnclave* mp = &m;
+      EnclaveMigrator* migrator = &migrator_;
+      sdk::ControlMailbox* agent_mb = &agent_->mailbox();
+      world_->executor().spawn("agent-delivery", [mp, migrator,
+                                                  agent_mb](sim::ThreadCtx& c) {
+        mp->delivery_status = migrator->deliver_key_to_agent(
+            c, *mp->source_instance, *agent_mb);
+        mp->key_delivered->set(c);
+      });
+    }
+  }
+  return total;
+}
+
+Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
+                                          guestos::Process* p) {
+  EnclaveMigrateOptions opts;
+  opts.cipher = opts_.cipher;
+  if (agent_ != nullptr) opts.agent = &agent_->port();
+  for (ManagedEnclave& m : managed_[p]) {
+    if (m.key_delivered != nullptr) {
+      m.key_delivered->wait(ctx);
+      MIG_RETURN_IF_ERROR(m.delivery_status);
+    }
+    MIG_RETURN_IF_ERROR(migrator_.restore(ctx, *m.host, *source_,
+                                          std::move(m.source_instance),
+                                          std::move(m.checkpoint), opts));
+  }
+  return OkStatus();
+}
+
+Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
+  if (opts_.use_agent) {
+    MIG_CHECK_MSG(opts_.target_host_os != nullptr,
+                  "use_agent requires a target host environment");
+    // One agent serves all managed enclaves; they share the developer
+    // identity by construction.
+    MIG_CHECK_MSG(!managed_.empty(), "no enclaves managed");
+    const sdk::OwnerCredentials& creds =
+        managed_.begin()->second.front().host->owner_credentials();
+    MIG_ASSIGN_OR_RETURN(
+        agent_, AgentEnclave::create(ctx, *world_, *opts_.target_host_os,
+                                     opts_.dev_signer, creds.identity,
+                                     world_->fork_rng("agent")));
+  }
+
+  guest_->set_migration_target(*target_);
+  // Do not let stop-and-copy happen while agent key pre-deliveries are still
+  // in flight — the VM keeps running (and pre-copying) until then.
+  guest_->set_stop_gate([this] {
+    for (auto& [proc, enclaves] : managed_) {
+      for (ManagedEnclave& m : enclaves) {
+        if (m.key_delivered != nullptr && !m.key_delivered->is_set())
+          return false;
+      }
+    }
+    return true;
+  });
+  auto channel = world_->make_channel();
+  hv::LiveMigrationEngine engine(world_->cost(), opts_.precopy);
+
+  struct TargetOutcome {
+    sim::Event done;
+    Result<hv::MigrationReport> report = Error(ErrorCode::kInternal, "unset");
+    explicit TargetOutcome(sim::Executor& e) : done(e) {}
+  } target_out(world_->executor());
+  hv::Vm* vm = vm_;
+  sim::Channel* ch = channel.get();
+  world_->executor().spawn("qemu-dst", [&engine, vm, ch,
+                                        &target_out](sim::ThreadCtx& c) {
+    target_out.report = engine.migrate_target(c, *vm, ch->b());
+    target_out.done.set(c);
+  });
+
+  Result<hv::MigrationReport> report =
+      engine.migrate_source(ctx, *vm_, channel->a());
+  target_out.done.wait(ctx);
+  // The source-side error is the root cause; the target's abort is derived.
+  MIG_RETURN_IF_ERROR(report.status());
+  MIG_RETURN_IF_ERROR(target_out.report.status());
+  if (agent_ != nullptr) {
+    // Agents "can be destroyed after the VM resuming".
+    MIG_RETURN_IF_ERROR(agent_->destroy(ctx));
+    agent_.reset();
+  }
+  return report;
+}
+
+}  // namespace mig::migration

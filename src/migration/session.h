@@ -1,0 +1,144 @@
+// End-to-end migration orchestration (the untrusted infrastructure side).
+//
+// EnclaveMigrator moves one enclave between two machines: the Fig. 2 / §III
+// pipeline at enclave granularity (used directly by tests and by the
+// checkpoint-time benches). VmMigrationSession composes it with the
+// hypervisor's pre-copy engine for the full Fig. 8 + Fig. 10 flow: it
+// registers the per-process migration handlers that the guest OS invokes on
+// SIGUSR1, runs the QEMU source/target threads, and wires the key handoff —
+// either direct source->target (two WAN round trips for attestation) or
+// through a pre-provisioned agent enclave on the target (§VI-D, local
+// attestation only on the critical path).
+//
+// Everything in this module is UNTRUSTED infrastructure: it relays blobs and
+// drives mailboxes. If it misbehaves, enclaves detect it (integrity checks,
+// CSSA verification) or refuse (self-destroy, single-channel rule) — that is
+// the point of the paper, and the attack tests drive these code paths with
+// malicious variants.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hv/live_migration.h"
+#include "hv/machine.h"
+#include "migration/owner.h"
+#include "sdk/host.h"
+
+namespace mig::migration {
+
+struct EnclaveMigrateOptions {
+  crypto::CipherAlg cipher = crypto::CipherAlg::kRc4;
+  sdk::AgentPort* agent = nullptr;  // when set, key flows via the agent
+  // Attack-simulation knob: a malicious operator keeps the source enclave's
+  // EPC alive after migration (fork attempts). Self-destroy makes the
+  // instance useless anyway; tests verify exactly that.
+  bool leave_source_alive = false;
+};
+
+// Moves one enclave of `host` from its current instance to the guest's
+// *current* machine (call after the guest has re-bound to the target).
+// Returns the sealed checkpoint size.
+class EnclaveMigrator {
+ public:
+  explicit EnclaveMigrator(hv::World& world) : world_(&world) {}
+
+  // Source half, runs while the VM is still up: two-phase checkpoint.
+  // Leaves the enclave's workers parked/spinning and the blob in untrusted
+  // memory.
+  Result<Bytes> prepare(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                        const EnclaveMigrateOptions& opts);
+
+  // Target half: create the virgin enclave on the guest's current machine,
+  // run the key handshake against `source_instance`'s control thread (or the
+  // agent), restore, pump CSSA, verify, release workers, and tear down the
+  // source instance (after its self-destroy).
+  Status restore(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                 hv::Machine& source_machine,
+                 std::unique_ptr<sdk::EnclaveInstance> source_instance,
+                 Bytes checkpoint, const EnclaveMigrateOptions& opts);
+
+  // Pre-delivers Kmigrate from the (already prepared) source enclave to an
+  // agent enclave — the §VI-D optimization, run before/during pre-copy.
+  Status deliver_key_to_agent(sim::ThreadCtx& ctx,
+                              sdk::EnclaveInstance& source_instance,
+                              sdk::ControlMailbox& agent_mailbox);
+
+ private:
+  hv::World* world_;
+};
+
+// The developer's agent enclave on a target machine: a normal SDK enclave
+// whose control thread implements the agent commands. Lives in a host-level
+// process of the target machine (outside the migrating VM).
+class AgentEnclave {
+ public:
+  // Builds + creates the agent. `identity` must be the developer identity of
+  // the enclaves it will serve; `dev_signer` must be the same signing key
+  // (MRSIGNER policy).
+  static Result<std::unique_ptr<AgentEnclave>> create(
+      sim::ThreadCtx& ctx, hv::World& world, guestos::GuestOs& host_os,
+      const crypto::SigKeyPair& dev_signer,
+      const crypto::SigKeyPair& identity, crypto::Drbg rng);
+
+  sdk::AgentPort& port() { return port_; }
+  sdk::ControlMailbox& mailbox() { return host_->mailbox(); }
+  Status destroy(sim::ThreadCtx& ctx) { return host_->destroy(ctx); }
+
+ private:
+  AgentEnclave() = default;
+  std::unique_ptr<sdk::EnclaveHost> host_;
+  sdk::AgentPort port_;
+};
+
+// Full VM migration with enclaves: Fig. 8 pipeline + pre-copy + per-enclave
+// restore. One session per migration.
+class VmMigrationSession {
+ public:
+  struct Options {
+    hv::MigrationParams precopy;
+    crypto::CipherAlg cipher = crypto::CipherAlg::kRc4;
+    bool use_agent = false;  // §VI-D optimization
+    // Agent host environment on the target (required when use_agent).
+    guestos::GuestOs* target_host_os = nullptr;
+    crypto::SigKeyPair dev_signer;        // for building the agent
+  };
+
+  VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,
+                     hv::Machine& source, hv::Machine& target, Options opts);
+
+  // Registers migration handlers for `host`'s process (call once per host
+  // before run()).
+  void manage(sdk::EnclaveHost& host);
+
+  // Runs the whole migration; returns the source-side report. Spawns the
+  // QEMU source/target threads internally and blocks (in virtual time).
+  Result<hv::MigrationReport> run(sim::ThreadCtx& ctx);
+
+ private:
+  Result<uint64_t> prepare_process(sim::ThreadCtx& ctx, guestos::Process* p);
+  Status resume_process(sim::ThreadCtx& ctx, guestos::Process* p);
+
+  hv::World* world_;
+  hv::Vm* vm_;
+  guestos::GuestOs* guest_;
+  hv::Machine* source_;
+  hv::Machine* target_;
+  Options opts_;
+  EnclaveMigrator migrator_;
+
+  struct ManagedEnclave {
+    sdk::EnclaveHost* host = nullptr;
+    Bytes checkpoint;
+    std::unique_ptr<sdk::EnclaveInstance> source_instance;
+    // Agent path: key delivery runs concurrently with the remaining pre-copy
+    // (that is the whole point of §VI-D); restore waits on this.
+    std::unique_ptr<sim::Event> key_delivered;
+    Status delivery_status = OkStatus();
+  };
+  std::map<guestos::Process*, std::vector<ManagedEnclave>> managed_;
+  std::unique_ptr<AgentEnclave> agent_;
+};
+
+}  // namespace mig::migration

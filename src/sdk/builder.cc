@@ -1,0 +1,138 @@
+#include "sdk/builder.h"
+
+#include "crypto/ciphers.h"
+#include "crypto/sha256.h"
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::sdk {
+
+Bytes read_config_blob(ByteSpan config_page, int index) {
+  Reader r(config_page);
+  Bytes blob;
+  for (int i = 0; i <= index; ++i) blob = r.bytes();
+  MIG_CHECK_MSG(r.ok(), "malformed config region");
+  return blob;
+}
+
+BuildOutput build_enclave_image(const BuildInput& input,
+                                const crypto::SigKeyPair& dev_signer,
+                                const crypto::BigNum& ias_pk,
+                                crypto::Drbg& rng) {
+  MIG_CHECK(input.program != nullptr);
+  BuildOutput out;
+  out.program = input.program;
+  out.migration_support = input.migration_support;
+  out.layout = Layout::compute(input.layout);
+  const Layout& l = out.layout;
+
+  // Owner credentials: identity key pair + provisioning key.
+  if (input.identity_override.has_value()) {
+    out.owner.identity = *input.identity_override;
+  } else {
+    crypto::Drbg id_rng = rng.fork(to_bytes("identity"));
+    out.owner.identity = crypto::sig_keygen(id_rng);
+  }
+  out.owner.provisioning_key = rng.fork(to_bytes("prov")).generate(32);
+
+  sgx::EnclaveImage& img = out.image;
+  img.base = kEnclaveBase;
+  img.size = l.size;
+  img.isv_prod_id = 1;
+  img.isv_svn = 1;
+
+  auto add_page = [&](uint64_t off, sgx::PageType type, sgx::Perms perms,
+                      Bytes content) {
+    img.pages.push_back(sgx::ImagePage{off, type, perms, std::move(content)});
+  };
+
+  // Meta page: all-zero initially (global flag unset, not provisioned).
+  {
+    Bytes meta(sgx::kPageSize, 0);
+    Writer w;
+    w.u64(input.layout.num_workers);
+    std::copy(w.data().begin(), w.data().end(), meta.begin() + kOffNumWorkers);
+    add_page(0, sgx::PageType::kReg, sgx::Perms::rw(), std::move(meta));
+  }
+
+  // Config region (read-only): identity pub | encrypted identity priv | IAS pk.
+  {
+    Bytes priv = out.owner.identity.sk.to_bytes_padded(160);
+    Bytes nonce(12, 0x5e);
+    crypto::chacha20_xor(out.owner.provisioning_key, nonce, 0, priv);
+    Writer w;
+    w.bytes(out.owner.identity.pk.to_bytes_padded(160));
+    w.bytes(priv);
+    w.bytes(ias_pk.to_bytes_padded(160));
+    Bytes config = w.take();
+    MIG_CHECK(config.size() <= sgx::kPageSize);
+    add_page(l.config_off, sgx::PageType::kReg, sgx::Perms{true, false, false},
+             std::move(config));
+    for (uint64_t p = 1; p < l.params.config_pages; ++p) {
+      add_page(l.config_off + p * sgx::kPageSize, sgx::PageType::kReg,
+               sgx::Perms{true, false, false}, Bytes{});
+    }
+  }
+
+  // TCS pages + SSA region + thread-local pages.
+  for (uint64_t i = 0; i < l.num_tcs; ++i) {
+    Writer w;
+    w.u64(/*oentry=*/l.code_off);
+    w.u64(/*ossa=*/l.ssa_offset(i));
+    w.u64(/*nssa=*/kNssa);
+    add_page(l.tcs_offset(i), sgx::PageType::kTcs, sgx::Perms{}, w.take());
+  }
+  for (uint64_t i = 0; i < l.num_tcs * kNssa; ++i) {
+    add_page(l.ssa_off + i * sgx::kPageSize, sgx::PageType::kReg,
+             sgx::Perms::rw(), Bytes{});
+  }
+  for (uint64_t i = 0; i < l.num_tcs; ++i) {
+    add_page(l.tls_offset(i), sgx::PageType::kReg, sgx::Perms::rw(), Bytes{});
+  }
+
+  // Code pages: measured program identity (+ the migration runtime when
+  // enabled — a different SDK configuration is a different enclave).
+  {
+    std::string ident = input.program->identity();
+    ident += input.migration_support ? "|sdk:migration" : "|sdk:plain";
+    crypto::Digest d = crypto::Sha256::hash(to_bytes(ident));
+    Bytes code;
+    while (code.size() < sgx::kPageSize) code.insert(code.end(), d.begin(), d.end());
+    code.resize(sgx::kPageSize);
+    for (uint64_t p = 0; p < l.params.code_pages; ++p) {
+      add_page(l.code_off + p * sgx::kPageSize, sgx::PageType::kReg,
+               sgx::Perms::rx(), code);
+    }
+  }
+
+  // Data region: app initial data.
+  {
+    MIG_CHECK(input.app_data.size() <= l.params.data_pages * sgx::kPageSize);
+    for (uint64_t p = 0; p < l.params.data_pages; ++p) {
+      uint64_t start = p * sgx::kPageSize;
+      Bytes content;
+      if (start < input.app_data.size()) {
+        uint64_t n = std::min<uint64_t>(sgx::kPageSize,
+                                        input.app_data.size() - start);
+        content.assign(input.app_data.begin() + start,
+                       input.app_data.begin() + start + n);
+      }
+      add_page(l.data_off + p * sgx::kPageSize, sgx::PageType::kReg,
+               sgx::Perms::rw(), std::move(content));
+    }
+  }
+
+  // Heap: zero pages. Optionally one W+X (non-readable) page at the end for
+  // the §IV-B SGXv1-limitation tests.
+  for (uint64_t p = 0; p < l.params.heap_pages; ++p) {
+    bool wx = input.include_wx_page && p + 1 == l.params.heap_pages;
+    add_page(l.heap_off + p * sgx::kPageSize, sgx::PageType::kReg,
+             wx ? sgx::Perms::wx_only() : sgx::Perms::rw(), Bytes{});
+  }
+
+  crypto::Drbg sign_rng = rng.fork(to_bytes("sign"));
+  img.sign(dev_signer, sign_rng);
+  return out;
+}
+
+}  // namespace mig::sdk

@@ -1,0 +1,62 @@
+// Builds EnclaveImages from programs: lays out memory per sdk/layout.h,
+// embeds the enclave identity keys (public key in plaintext, private key
+// encrypted under the owner's provisioning key — §V-B "We put a pair of keys
+// into the enclave image"), embeds the attestation-service public key, and
+// signs the measurement with the developer key.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "sdk/layout.h"
+#include "sdk/program.h"
+#include "sgx/image.h"
+
+namespace mig::sdk {
+
+// Credentials the *enclave owner* keeps: the provisioning key that decrypts
+// the embedded identity private key, and the identity public key to
+// recognize their enclaves.
+struct OwnerCredentials {
+  Bytes provisioning_key;       // 32 B symmetric
+  crypto::SigKeyPair identity;  // the enclave identity key pair
+};
+
+struct BuildInput {
+  std::shared_ptr<const EnclaveProgram> program;
+  LayoutParams layout;
+  Bytes app_data;               // initial contents of the data region
+  bool migration_support = true;  // stubs + control thread instrumentation
+  // When set, embed this identity key pair instead of generating one — used
+  // to give the developer's agent enclave the same identity as the app
+  // enclaves it serves (§VI-D: "A developer can use one agent enclave to
+  // serve all his/her enclaves").
+  std::optional<crypto::SigKeyPair> identity_override;
+  // Makes the last heap page writable+executable but NOT readable — the
+  // SGXv1 corner the paper calls out in §IV-B: such a page cannot be dumped
+  // by the control thread, so the enclave is unmigratable. For tests.
+  bool include_wx_page = false;
+};
+
+struct BuildOutput {
+  sgx::EnclaveImage image;
+  Layout layout;
+  OwnerCredentials owner;
+  std::shared_ptr<const EnclaveProgram> program;
+  bool migration_support = true;
+};
+
+// `dev_signer` signs SIGSTRUCT (determines MRSIGNER); `rng` draws the
+// identity key pair and provisioning key.
+BuildOutput build_enclave_image(const BuildInput& input,
+                                const crypto::SigKeyPair& dev_signer,
+                                const crypto::BigNum& ias_pk,
+                                crypto::Drbg& rng);
+
+// Offsets of the embedded blobs inside the config region (serialized with
+// util/serde): identity_pub | identity_priv_encrypted | ias_pk.
+Bytes read_config_blob(ByteSpan config_page, int index);
+
+}  // namespace mig::sdk

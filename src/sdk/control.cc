@@ -1,0 +1,768 @@
+#include "sdk/control.h"
+
+#include "crypto/ciphers.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "sdk/builder.h"
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::sdk {
+
+ControlReply ControlMailbox::post(sim::ThreadCtx& ctx, ControlCmd cmd) {
+  // Multiple host threads may target one mailbox (e.g. every migrating
+  // process fetches from the same agent enclave): serialize them, blocking
+  // on an event rather than polling.
+  while (busy_) {
+    free_.reset();
+    free_.wait(ctx);
+  }
+  busy_ = true;
+  cmd_ = std::move(cmd);
+  reply_ready_.reset();
+  cmd_ready_.set(ctx);
+  reply_ready_.wait(ctx);
+  MIG_CHECK(reply_.has_value());
+  ControlReply out = std::move(*reply_);
+  reply_.reset();
+  busy_ = false;
+  free_.set(ctx);
+  return out;
+}
+
+ControlCmd ControlMailbox::wait_cmd(sim::ThreadCtx& ctx) {
+  cmd_ready_.wait(ctx);
+  cmd_ready_.reset();
+  MIG_CHECK(cmd_.has_value());
+  ControlCmd out = std::move(*cmd_);
+  cmd_.reset();
+  return out;
+}
+
+void ControlMailbox::reply(sim::ThreadCtx& ctx, ControlReply reply) {
+  reply_ = std::move(reply);
+  reply_ready_.set(ctx);
+}
+
+uint64_t true_cssa_from_flags(uint64_t local_flag, uint64_t cssa_eenter) {
+  // §IV-C: local flag free <=> EENTER/EEXIT balanced <=> AEX/ERESUME
+  // balanced <=> CSSA == 0. Local flag spin <=> the thread is outside the
+  // enclave with one unmatched AEX <=> CSSA == CSSA_EENTER + 1.
+  if (local_flag == kFlagSpin) return cssa_eenter + 1;
+  return 0;
+}
+
+namespace {
+
+// ---- in-control-thread state shared between kRestore and kFinishRestore ----
+struct WorkerSnapshot {
+  uint64_t local_flag = 0;
+  uint64_t cssa_eenter = 0;
+  uint64_t true_cssa = 0;
+  Bytes tls_page;
+  std::vector<Bytes> ssa_frames;  // frames [0, true_cssa-1)
+};
+
+struct Checkpoint {
+  std::vector<WorkerSnapshot> workers;
+  Bytes meta_page;
+  Bytes data_region;
+  Bytes heap_region;
+};
+
+struct RestoreState {
+  bool active = false;
+  Checkpoint ckpt;
+};
+
+// The control-thread engine. Everything in this class conceptually executes
+// inside the enclave; its only communication with the outside is the
+// mailbox, network channels (ciphertext/public values) and the quote relay.
+class ControlEngine {
+ public:
+  ControlEngine(EnclaveEnv& env, ControlDeps& deps)
+      : env_(&env), deps_(&deps), l_(&env.layout()) {}
+
+  ControlReply handle(ControlCmd& cmd) {
+    switch (cmd.type) {
+      case ControlCmd::Type::kProvision: return provision(cmd);
+      case ControlCmd::Type::kPrepareCheckpoint: return prepare(cmd);
+      case ControlCmd::Type::kServeKey: return serve_key(cmd);
+      case ControlCmd::Type::kCancelMigration: return cancel(cmd);
+      case ControlCmd::Type::kRestore: return restore(cmd);
+      case ControlCmd::Type::kFinishRestore: return finish_restore(cmd);
+      case ControlCmd::Type::kOwnerCheckpoint: return owner_checkpoint(cmd);
+      case ControlCmd::Type::kOwnerRestore: return owner_restore(cmd);
+      case ControlCmd::Type::kAgentFetchKey: return agent_fetch_key(cmd);
+      case ControlCmd::Type::kAgentServeLocal: return agent_serve_local(cmd);
+      case ControlCmd::Type::kNaiveDump: return naive_dump(cmd);
+      case ControlCmd::Type::kShutdown: return {};
+    }
+    return {Error(ErrorCode::kInvalidArgument, "unknown command"), {}, {}};
+  }
+
+ private:
+  // ---- small helpers -------------------------------------------------------
+  ControlReply fail(ErrorCode code, std::string msg) {
+    return {Error(code, std::move(msg)), {}, {}};
+  }
+
+  uint64_t num_workers() const { return l_->params.num_workers; }
+
+  bool self_destroyed() { return env_->read_u64(kOffSelfDestroyed) == 1; }
+
+  crypto::Digest own_mrenclave() {
+    auto rep = env_->ereport(sgx::TargetInfo{}, {});
+    MIG_CHECK(rep.ok());
+    return rep->mrenclave;
+  }
+
+  crypto::Digest own_mrsigner() {
+    auto rep = env_->ereport(sgx::TargetInfo{}, {});
+    MIG_CHECK(rep.ok());
+    return rep->mrsigner;
+  }
+
+  Bytes config_blob(int index) {
+    Bytes page = env_->read_bytes(l_->config_off, sgx::kPageSize);
+    return read_config_blob(page, index);
+  }
+
+  crypto::BigNum embedded_identity_pk() {
+    return crypto::BigNum::from_bytes(config_blob(0));
+  }
+  crypto::BigNum embedded_ias_pk() {
+    return crypto::BigNum::from_bytes(config_blob(2));
+  }
+
+  void wan_round_trip() { env_->ctx().sleep(2 * env_->cost().wan_latency_ns); }
+
+  // ---- two-phase checkpointing (§IV-B) -------------------------------------
+  // Phase one: set the global flag and wait until every worker thread is at
+  // the quiescent point (local flag free or spin). Phase two: dump.
+  void reach_quiescent_point() {
+    env_->write_u64(kOffGlobalFlag, 1);
+    for (;;) {
+      bool quiescent = true;
+      for (uint64_t i = 0; i < num_workers(); ++i) {
+        uint64_t flag = env_->read_u64(l_->tls_offset(i) + kTlLocalFlag);
+        if (flag == kFlagBusy) {
+          quiescent = false;
+          break;
+        }
+      }
+      if (quiescent) return;
+      env_->work(500);
+    }
+  }
+
+  // Page-granular dump: every page costs traversal time *as it is read*, so
+  // in virtual time the dump genuinely overlaps whatever else runs — which
+  // is precisely what the §IV-A consistency attack exploits when the
+  // quiescence protocol is skipped (kNaiveDump).
+  uint64_t charge_page_dump() {
+    env_->work(sim::per_byte_x100(
+        env_->cost().checkpoint_dump_ns_per_byte_x100, sgx::kPageSize));
+    return sgx::kPageSize;
+  }
+
+  Result<Bytes> dump_region(uint64_t off, uint64_t pages) {
+    Bytes out;
+    out.reserve(pages * sgx::kPageSize);
+    for (uint64_t p = 0; p < pages; ++p) {
+      Bytes page;
+      Status st = env_->try_read_bytes(off + p * sgx::kPageSize,
+                                       sgx::kPageSize, page);
+      if (!st.ok()) {
+        // §IV-B: "If having executable, writable and non-readable permission,
+        // one EPC page cannot be migrated because the control thread cannot
+        // read its content. This is a limitation of our solution in SGX v1."
+        return Error(ErrorCode::kPermissionDenied,
+                     "enclave has a non-readable (W+X) page; cannot be "
+                     "migrated under SGXv1 (" + st.message() + ")");
+      }
+      append(out, page);
+      charge_page_dump();
+    }
+    return out;
+  }
+
+  Result<Checkpoint> capture() {
+    Checkpoint c;
+    for (uint64_t i = 0; i < num_workers(); ++i) {
+      WorkerSnapshot w;
+      uint64_t tls = l_->tls_offset(i);
+      w.local_flag = env_->read_u64(tls + kTlLocalFlag);
+      w.cssa_eenter = env_->read_u64(tls + kTlCssaEenter);
+      w.true_cssa = true_cssa_from_flags(w.local_flag, w.cssa_eenter);
+      w.tls_page = env_->read_bytes(tls, sgx::kPageSize);
+      charge_page_dump();
+      // Lower SSA frames hold real interrupted contexts; the top frame of a
+      // spinning thread is reconstructed on restore.
+      for (uint64_t f = 0; f + 1 < w.true_cssa; ++f) {
+        w.ssa_frames.push_back(env_->read_bytes(
+            l_->ssa_offset(i) + f * sgx::kPageSize, sgx::kPageSize));
+        charge_page_dump();
+      }
+      c.workers.push_back(std::move(w));
+    }
+    c.meta_page = env_->read_bytes(0, sgx::kPageSize);
+    charge_page_dump();
+    MIG_ASSIGN_OR_RETURN(c.data_region,
+                         dump_region(l_->data_off, l_->params.data_pages));
+    MIG_ASSIGN_OR_RETURN(c.heap_region,
+                         dump_region(l_->heap_off, l_->params.heap_pages));
+    return c;
+  }
+
+  static Bytes serialize_checkpoint(const Checkpoint& c) {
+    Writer w;
+    w.u64(c.workers.size());
+    for (const WorkerSnapshot& ws : c.workers) {
+      w.u64(ws.local_flag);
+      w.u64(ws.cssa_eenter);
+      w.u64(ws.true_cssa);
+      w.bytes(ws.tls_page);
+      w.u64(ws.ssa_frames.size());
+      for (const Bytes& f : ws.ssa_frames) w.bytes(f);
+    }
+    w.bytes(c.meta_page);
+    w.bytes(c.data_region);
+    w.bytes(c.heap_region);
+    return w.take();
+  }
+
+  static Result<Checkpoint> parse_checkpoint(ByteSpan outer) {
+    // Outer wrapper: length-prefixed body + optional random padding
+    // (§VII-A: the blob size need not reflect the enclave's memory usage).
+    Reader ro(outer);
+    Bytes body = ro.bytes();
+    if (!ro.ok())
+      return Error(ErrorCode::kInvalidArgument, "malformed checkpoint");
+    Reader r(body);
+    Checkpoint c;
+    uint64_t n = r.u64();
+    if (n > 1024) return Error(ErrorCode::kInvalidArgument, "absurd worker count");
+    for (uint64_t i = 0; i < n; ++i) {
+      WorkerSnapshot w;
+      w.local_flag = r.u64();
+      w.cssa_eenter = r.u64();
+      w.true_cssa = r.u64();
+      w.tls_page = r.bytes();
+      uint64_t frames = r.u64();
+      if (frames > kNssa) return Error(ErrorCode::kInvalidArgument, "bad frames");
+      for (uint64_t f = 0; f < frames; ++f) w.ssa_frames.push_back(r.bytes());
+      c.workers.push_back(std::move(w));
+    }
+    c.meta_page = r.bytes();
+    c.data_region = r.bytes();
+    c.heap_region = r.bytes();
+    MIG_RETURN_IF_ERROR(r.finish());
+    return c;
+  }
+
+  Bytes seal_checkpoint(const Checkpoint& c, ByteSpan key,
+                        crypto::CipherAlg alg, uint64_t pad_to_multiple) {
+    Bytes body = serialize_checkpoint(c);
+    Writer w;
+    w.bytes(body);
+    if (pad_to_multiple > 0) {
+      uint64_t total = w.data().size();
+      uint64_t padded = (total + pad_to_multiple - 1) / pad_to_multiple *
+                        pad_to_multiple;
+      w.raw(deps_->rng.generate(padded - total));
+    }
+    Bytes plain = w.take();
+    env_->work(crypto::cipher_cost_ns(alg, plain.size()));
+    env_->work(sim::per_byte_x100(env_->cost().sha256_ns_per_byte_x100,
+                                  plain.size()));
+    return crypto::seal(alg, key, plain);
+  }
+
+  // ---- kPrepareCheckpoint ---------------------------------------------------
+  ControlReply prepare(ControlCmd& cmd) {
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    // Fresh Kmigrate, generated inside the enclave (§IV: "randomly generated
+    // migration key").
+    Bytes kmigrate = deps_->rng.generate(32);
+    env_->write_bytes(kOffKmigrate, kmigrate);
+    env_->write_u64(kOffKeyServed, 0);
+    reach_quiescent_point();
+    auto c = capture();
+    if (!c.ok()) return fail(c.status().code(), c.status().message());
+    ControlReply reply;
+    reply.blob = seal_checkpoint(*c, kmigrate, cmd.cipher,
+                                 cmd.pad_to_multiple);
+    return reply;
+  }
+
+  // ---- kNaiveDump (the strawman the §IV-A attack defeats) --------------------
+  // Identical to prepare() but with NO global flag and NO quiescence wait:
+  // it believes the OS's claim that all other threads are stopped. A lying
+  // OS lets a worker race the dump (data-consistency attack, Fig. 3).
+  ControlReply naive_dump(ControlCmd& cmd) {
+    Bytes kmigrate = deps_->rng.generate(32);
+    env_->write_bytes(kOffKmigrate, kmigrate);
+    env_->write_u64(kOffKeyServed, 0);
+    auto c = capture();
+    if (!c.ok()) return fail(c.status().code(), c.status().message());
+    ControlReply reply;
+    reply.blob = seal_checkpoint(*c, kmigrate, cmd.cipher,
+                                 cmd.pad_to_multiple);
+    return reply;
+  }
+
+  // ---- kCancelMigration -----------------------------------------------------
+  ControlReply cancel(ControlCmd&) {
+    if (env_->read_u64(kOffKeyServed) == 1 || self_destroyed())
+      return fail(ErrorCode::kAborted,
+                  "cannot cancel: Kmigrate already delivered (self-destroyed)");
+    // "If a migration is canceled, the source enclave will delete the
+    // Kmigrate immediately so the checkpoint will be useless."
+    env_->write_bytes(kOffKmigrate, Bytes(32, 0));
+    env_->write_u64(kOffGlobalFlag, 0);
+    return {};
+  }
+
+  // ---- kServeKey (source role, §V-B) ----------------------------------------
+  ControlReply serve_key(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no channel");
+    if (self_destroyed() || env_->read_u64(kOffKeyServed) == 1) {
+      // Single secure channel, ever: additional requests are refused.
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAborted, "key already served once");
+    }
+    Bytes request = cmd.channel->recv(env_->ctx());
+    Reader r(request);
+    std::string tag = r.str();
+    Bytes dh_pub_t = r.bytes();
+    Bytes quote_wire = r.bytes();
+    if (!r.finish().ok() || tag != "KEYREQ") {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kInvalidArgument, "malformed key request");
+    }
+
+    // Remote attestation of the target enclave, without the owner (§III
+    // Step-2): verify the quote through the attestation service, check that
+    // the attested enclave is *the same enclave* (same MRENCLAVE) and that
+    // the quote binds the DH public value.
+    auto quote = sgx::Quote::deserialize(quote_wire);
+    if (!quote.ok()) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAuthFailure, "undecodable quote");
+    }
+    wan_round_trip();
+    Bytes nonce = deps_->rng.generate(16);
+    sgx::AttestationVerdict verdict =
+        deps_->ias->verify(env_->ctx(), *quote, nonce);
+    if (!sgx::AttestationService::check_verdict(verdict, embedded_ias_pk()) ||
+        !verdict.ok) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAuthFailure, "attestation failed");
+    }
+    // Accept the same enclave (same MRENCLAVE) or, when the §VI-D agent
+    // optimization is in use, a developer agent (same MRSIGNER).
+    bool same_enclave = crypto::ct_equal(verdict.mrenclave, own_mrenclave());
+    bool developer_agent = cmd.allow_agent_recipient &&
+                           crypto::ct_equal(verdict.mrsigner, own_mrsigner());
+    if (!same_enclave && !developer_agent) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAuthFailure,
+                  "target enclave measurement differs");
+    }
+    crypto::Digest bind = crypto::Sha256::hash(dh_pub_t);
+    if (!crypto::ct_equal(ByteSpan(verdict.report_data), ByteSpan(bind))) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAuthFailure, "quote does not bind DH value");
+    }
+
+    // Diffie-Hellman: derive the session key; encrypt Kmigrate under it and
+    // authenticate the message with the enclave identity key so the target
+    // can authenticate the source (§V-B "the target authenticates the
+    // source").
+    env_->work(env_->cost().dh_keygen_ns + env_->cost().dh_shared_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    auto shared = crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_t));
+    if (!shared.ok()) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kAuthFailure, "degenerate DH value");
+    }
+    Bytes dh_pub_s = kp.pub.to_bytes_padded(128);
+    Bytes session = crypto::hkdf(to_bytes("mig-channel"), *shared,
+                                 dh_pub_t, 32);
+    Bytes kmigrate = env_->read_bytes(kOffKmigrate, 32);
+    Bytes enc = crypto::seal(crypto::CipherAlg::kChaCha20, session, kmigrate);
+
+    if (env_->read_u64(kOffProvisioned) != 1)
+      return fail(ErrorCode::kFailedPrecondition,
+                  "identity key not provisioned");
+    crypto::BigNum sk = crypto::BigNum::from_bytes(
+        env_->read_bytes(kOffIdentityPriv, 160));
+    // The reply carries the source's measurement (public) inside the signed
+    // transcript: the target checks it against its own MRENCLAVE, and an
+    // agent files the key under it for later local requests.
+    crypto::Digest own_mre = own_mrenclave();
+    Writer transcript;
+    transcript.bytes(dh_pub_t);
+    transcript.bytes(dh_pub_s);
+    transcript.bytes(enc);
+    transcript.raw(own_mre);
+    env_->work(env_->cost().sig_sign_ns);
+    Bytes sig = crypto::sig_sign(sk, transcript.data(), deps_->rng);
+
+    Writer reply_msg;
+    reply_msg.str("KEYREP");
+    reply_msg.bytes(dh_pub_s);
+    reply_msg.bytes(enc);
+    reply_msg.raw(own_mre);
+    reply_msg.bytes(sig);
+    cmd.channel->send(env_->ctx(), reply_msg.take());
+
+    // Self-destroy (§V-B): this enclave will never resume. The global flag
+    // stays set forever, so any worker the OS resumes spins forever.
+    env_->write_u64(kOffKeyServed, 1);
+    env_->write_u64(kOffSelfDestroyed, 1);
+    return {};
+  }
+
+  // ---- kRestore (target role) ------------------------------------------------
+  ControlReply restore(ControlCmd& cmd) {
+    Result<Bytes> kmigrate = Error(ErrorCode::kInvalidArgument, "no key source");
+    if (cmd.agent != nullptr) {
+      // §VI-D agent optimization: fetch Kmigrate by local attestation.
+      kmigrate = key_from_agent(*cmd.agent);
+    } else if (cmd.channel.has_value()) {
+      kmigrate = key_from_source(*cmd.channel);
+    }
+    if (!kmigrate.ok())
+      return fail(kmigrate.status().code(), kmigrate.status().message());
+    return restore_with_key(cmd, *kmigrate);
+  }
+
+  ControlReply restore_with_key(ControlCmd& cmd, ByteSpan key) {
+    env_->work(crypto::cipher_cost_ns(cmd.cipher, cmd.blob.size()));
+    auto plain = crypto::open(key, cmd.blob);
+    if (!plain.ok())
+      return fail(plain.status().code(), "checkpoint rejected: " +
+                                             plain.status().message());
+    auto parsed = parse_checkpoint(*plain);
+    if (!parsed.ok()) return fail(parsed.status().code(), "corrupt checkpoint");
+    if (parsed->workers.size() != num_workers())
+      return fail(ErrorCode::kInvalidArgument, "worker count mismatch");
+
+    uint64_t restored = 0;
+    env_->write_bytes(0, parsed->meta_page);
+    env_->write_u64(kOffGlobalFlag, 1);  // stays set until finish_restore
+    env_->write_u64(kOffPumpMode, 1);
+    for (uint64_t i = 0; i < num_workers(); ++i) {
+      env_->write_bytes(l_->tls_offset(i), parsed->workers[i].tls_page);
+      restored += sgx::kPageSize;
+    }
+    env_->write_bytes(l_->data_off, parsed->data_region);
+    env_->write_bytes(l_->heap_off, parsed->heap_region);
+    restored += parsed->meta_page.size() + parsed->data_region.size() +
+                parsed->heap_region.size();
+    env_->work(sim::per_byte_x100(env_->cost().restore_write_ns_per_byte_x100,
+                                  restored));
+
+    restore_state_.active = true;
+    restore_state_.ckpt = std::move(*parsed);
+
+    ControlReply reply;
+    for (uint64_t i = 0; i < num_workers(); ++i) {
+      uint64_t pumps = restore_state_.ckpt.workers[i].true_cssa;
+      if (pumps > 0) reply.pumps.push_back(PumpPlan{i, pumps});
+    }
+    return reply;
+  }
+
+  Result<Bytes> key_from_source(sim::Channel::End& ch,
+                                bool check_source_mre = true,
+                                crypto::Digest* source_mre_out = nullptr) {
+    env_->work(env_->cost().dh_keygen_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    Bytes dh_pub_t = kp.pub.to_bytes_padded(128);
+    crypto::Digest bind = crypto::Sha256::hash(dh_pub_t);
+    MIG_ASSIGN_OR_RETURN(sgx::Report report,
+                         env_->ereport(deps_->qe->target_info(), bind));
+    MIG_ASSIGN_OR_RETURN(sgx::Quote quote,
+                         deps_->qe->quote(env_->ctx(), report));
+    Writer req;
+    req.str("KEYREQ");
+    req.bytes(dh_pub_t);
+    req.bytes(quote.serialize());
+    ch.send(env_->ctx(), req.take());
+
+    Bytes reply = ch.recv(env_->ctx());
+    Reader r(reply);
+    std::string tag = r.str();
+    if (tag == "REFUSE")
+      return Error(ErrorCode::kAborted, "source refused key exchange");
+    Bytes dh_pub_s = r.bytes();
+    Bytes enc = r.bytes();
+    Bytes src_mre = r.raw(32);
+    Bytes sig = r.bytes();
+    MIG_RETURN_IF_ERROR(r.finish());
+    if (tag != "KEYREP")
+      return Error(ErrorCode::kInvalidArgument, "bad key reply");
+    // The target authenticates the source with the public key shipped in
+    // the enclave image (§V-B).
+    Writer transcript;
+    transcript.bytes(dh_pub_t);
+    transcript.bytes(dh_pub_s);
+    transcript.bytes(enc);
+    transcript.raw(src_mre);
+    env_->work(env_->cost().sig_verify_ns);
+    if (!crypto::sig_verify(embedded_identity_pk(), transcript.data(), sig))
+      return Error(ErrorCode::kAuthFailure, "source signature invalid");
+    if (check_source_mre &&
+        !crypto::ct_equal(ByteSpan(src_mre), ByteSpan(own_mrenclave())))
+      return Error(ErrorCode::kAuthFailure, "key is for a different enclave");
+    env_->work(env_->cost().dh_shared_ns);
+    MIG_ASSIGN_OR_RETURN(
+        Bytes shared,
+        crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_s)));
+    Bytes session = crypto::hkdf(to_bytes("mig-channel"), shared, dh_pub_t, 32);
+    MIG_ASSIGN_OR_RETURN(Bytes key, crypto::open(session, enc));
+    if (source_mre_out != nullptr)
+      std::copy(src_mre.begin(), src_mre.end(), source_mre_out->begin());
+    return key;
+  }
+
+  Result<Bytes> key_from_agent(AgentPort& agent) {
+    env_->work(env_->cost().local_attest_dh_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    Bytes dh_pub = kp.pub.to_bytes_padded(128);
+    crypto::Digest bind = crypto::Sha256::hash(dh_pub);
+    MIG_ASSIGN_OR_RETURN(sgx::Report report,
+                         env_->ereport(agent.target_info(), bind));
+    AgentPort::Request req{report, dh_pub};
+    AgentPort::Response resp = agent.request(env_->ctx(), req);
+    MIG_RETURN_IF_ERROR(resp.status);
+    env_->work(env_->cost().local_attest_dh_ns);
+    MIG_ASSIGN_OR_RETURN(
+        Bytes shared,
+        crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(resp.dh_pub)));
+    Bytes session = crypto::hkdf(to_bytes("agent-channel"), shared, dh_pub, 32);
+    return crypto::open(session, resp.enc_kmigrate);
+  }
+
+  // ---- kFinishRestore (§IV-C Step-4) -----------------------------------------
+  ControlReply finish_restore(ControlCmd&) {
+    if (!restore_state_.active)
+      return fail(ErrorCode::kFailedPrecondition, "no restore in progress");
+    const Checkpoint& c = restore_state_.ckpt;
+    for (uint64_t i = 0; i < num_workers(); ++i) {
+      const WorkerSnapshot& w = c.workers[i];
+      if (w.true_cssa == 0) continue;
+      // In-enclave CSSA tracking: the pump stub recorded the rax of the
+      // last EENTER; after its AEX the true CSSA is that + 1. Verify the
+      // untrusted library pumped exactly to the checkpointed value.
+      uint64_t tracked =
+          env_->read_u64(l_->tls_offset(i) + kTlCssaEenter) + 1;
+      if (tracked != w.true_cssa) {
+        return fail(ErrorCode::kIntegrityViolation,
+                    "CSSA restore verification failed (library lied)");
+      }
+      // Rebuild SSA: interrupted contexts from the checkpoint below, a
+      // reconstructed spin context on top.
+      for (uint64_t f = 0; f + 1 < w.true_cssa; ++f) {
+        env_->write_bytes(l_->ssa_offset(i) + f * sgx::kPageSize,
+                          w.ssa_frames[f]);
+      }
+      CtxKind kind = w.true_cssa == 1 ? CtxKind::kSpinEntry
+                                      : CtxKind::kSpinHandler;
+      Writer frame;
+      frame.bytes(serialize_ctx(kind, i));
+      Bytes page = frame.take();
+      page.resize(sgx::kPageSize, 0);
+      env_->write_bytes(l_->ssa_offset(i) + (w.true_cssa - 1) * sgx::kPageSize,
+                        page);
+    }
+    env_->write_u64(kOffPumpMode, 0);
+    env_->write_u64(kOffSelfDestroyed, 0);
+    env_->write_u64(kOffKeyServed, 0);
+    env_->write_u64(kOffGlobalFlag, 0);
+    restore_state_ = RestoreState{};
+    return {};
+  }
+
+  // ---- owner-keyed checkpoint/resume (§V-C) -----------------------------------
+  Result<Bytes> owner_key_exchange(sim::Channel::End& ch,
+                                   std::string_view verb) {
+    env_->work(env_->cost().dh_keygen_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    Bytes dh_pub = kp.pub.to_bytes_padded(128);
+    crypto::Digest bind = crypto::Sha256::hash(dh_pub);
+    MIG_ASSIGN_OR_RETURN(sgx::Report report,
+                         env_->ereport(deps_->qe->target_info(), bind));
+    MIG_ASSIGN_OR_RETURN(sgx::Quote quote,
+                         deps_->qe->quote(env_->ctx(), report));
+    Writer req;
+    req.str(std::string(verb));
+    req.bytes(dh_pub);
+    req.bytes(quote.serialize());
+    wan_round_trip();
+    ch.send(env_->ctx(), req.take());
+    Bytes reply = ch.recv(env_->ctx());
+    Reader r(reply);
+    std::string tag = r.str();
+    Bytes dh_pub_o = r.bytes();
+    Bytes enc = r.bytes();
+    MIG_RETURN_IF_ERROR(r.finish());
+    if (tag != "OWNERKEY")
+      return Error(ErrorCode::kAuthFailure, "owner refused: " + tag);
+    env_->work(env_->cost().dh_shared_ns);
+    MIG_ASSIGN_OR_RETURN(
+        Bytes shared,
+        crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_o)));
+    Bytes session = crypto::hkdf(to_bytes("owner-channel"), shared, dh_pub, 32);
+    return crypto::open(session, enc);
+  }
+
+  ControlReply owner_checkpoint(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no owner channel");
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    auto kencrypt = owner_key_exchange(*cmd.channel, "CKPT");
+    if (!kencrypt.ok()) return fail(kencrypt.status().code(),
+                                    kencrypt.status().message());
+    reach_quiescent_point();
+    auto c = capture();
+    if (!c.ok()) return fail(c.status().code(), c.status().message());
+    ControlReply reply;
+    reply.blob = seal_checkpoint(*c, *kencrypt, cmd.cipher,
+                                 cmd.pad_to_multiple);
+    // A snapshot is not a migration: execution continues right away.
+    env_->write_u64(kOffGlobalFlag, 0);
+    return reply;
+  }
+
+  ControlReply owner_restore(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no owner channel");
+    auto kencrypt = owner_key_exchange(*cmd.channel, "RESTORE");
+    if (!kencrypt.ok()) return fail(kencrypt.status().code(),
+                                    kencrypt.status().message());
+    return restore_with_key(cmd, *kencrypt);
+  }
+
+  // ---- agent-enclave roles (§VI-D) ---------------------------------------------
+  // Agent key store: (mrenclave, key) entries in the agent's heap. The
+  // count lives at kOffAgentHasKey; entry i at heap_off + 64*i.
+  ControlReply agent_fetch_key(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no channel");
+    crypto::Digest src_mre{};
+    auto key = key_from_source(*cmd.channel, /*check_source_mre=*/false,
+                               &src_mre);
+    if (!key.ok()) return fail(key.status().code(), key.status().message());
+    if (key->size() != 32)
+      return fail(ErrorCode::kInvalidArgument, "bad key size");
+    uint64_t n = env_->read_u64(kOffAgentHasKey);
+    uint64_t entry = l_->heap_off + 64 * n;
+    if (entry + 64 > l_->size)
+      return fail(ErrorCode::kResourceExhausted, "agent key store full");
+    env_->write_bytes(entry, src_mre);
+    env_->write_bytes(entry + 32, *key);
+    env_->write_u64(kOffAgentHasKey, n + 1);
+    return {};
+  }
+
+  ControlReply agent_serve_local(ControlCmd& cmd) {
+    if (!cmd.agent_request.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no request");
+    if (env_->read_u64(kOffAgentHasKey) == 0)
+      return fail(ErrorCode::kFailedPrecondition, "agent holds no key");
+    const AgentRequest& req = *cmd.agent_request;
+    // Local attestation: the report must be targeted at us (MAC verifies
+    // with our report key), come from the same developer (MRSIGNER), and
+    // bind the DH value.
+    auto report_key = env_->egetkey(sgx::KeyName::kReport);
+    if (!report_key.ok()) return fail(ErrorCode::kInternal, "EGETKEY failed");
+    crypto::Digest mac =
+        crypto::hmac_sha256(*report_key, req.report.serialize_body());
+    if (!crypto::ct_equal(mac, req.report.mac))
+      return fail(ErrorCode::kAuthFailure, "report not targeted at agent");
+    if (!crypto::ct_equal(req.report.mrsigner, own_mrsigner()))
+      return fail(ErrorCode::kAuthFailure, "requester has foreign signer");
+    crypto::Digest bind = crypto::Sha256::hash(req.dh_pub);
+    if (!crypto::ct_equal(ByteSpan(req.report.report_data), ByteSpan(bind)))
+      return fail(ErrorCode::kAuthFailure, "report does not bind DH value");
+
+    env_->work(2 * env_->cost().local_attest_dh_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    auto shared =
+        crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(req.dh_pub));
+    if (!shared.ok()) return fail(ErrorCode::kAuthFailure, "degenerate DH");
+    Bytes dh_pub_a = kp.pub.to_bytes_padded(128);
+    Bytes session = crypto::hkdf(to_bytes("agent-channel"), *shared,
+                                 req.dh_pub, 32);
+    // Look the key up by the requester's measurement.
+    Bytes kmigrate;
+    uint64_t n = env_->read_u64(kOffAgentHasKey);
+    for (uint64_t i = 0; i < n; ++i) {
+      Bytes mre = env_->read_bytes(l_->heap_off + 64 * i, 32);
+      if (crypto::ct_equal(mre, req.report.mrenclave)) {
+        kmigrate = env_->read_bytes(l_->heap_off + 64 * i + 32, 32);
+        break;
+      }
+    }
+    if (kmigrate.empty())
+      return fail(ErrorCode::kNotFound, "no key parked for this enclave");
+    ControlReply reply;
+    Writer w;
+    w.bytes(dh_pub_a);
+    w.bytes(crypto::seal(crypto::CipherAlg::kChaCha20, session, kmigrate));
+    reply.blob = w.take();
+    return reply;
+  }
+
+  // ---- kProvision (launch-time, Fig. 7 left) -----------------------------------
+  ControlReply provision(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no owner channel");
+    auto prov_key = owner_key_exchange(*cmd.channel, "PROVISION");
+    if (!prov_key.ok()) return fail(prov_key.status().code(),
+                                    prov_key.status().message());
+    // Decrypt the embedded identity private key and validate it against the
+    // embedded public key (a wrong provisioning key yields garbage).
+    Bytes enc_sk = config_blob(1);
+    Bytes nonce(12, 0x5e);
+    crypto::chacha20_xor(*prov_key, nonce, 0, enc_sk);
+    crypto::BigNum sk = crypto::BigNum::from_bytes(enc_sk);
+    const crypto::DhGroup& g = crypto::DhGroup::oakley2();
+    env_->work(env_->cost().dh_keygen_ns);
+    if (!(g.gq.modexp(sk, g.p) == embedded_identity_pk()))
+      return fail(ErrorCode::kAuthFailure, "provisioning key invalid");
+    env_->write_bytes(kOffIdentityPriv, sk.to_bytes_padded(160));
+    env_->write_u64(kOffProvisioned, 1);
+    return {};
+  }
+
+  EnclaveEnv* env_;
+  ControlDeps* deps_;
+  const Layout* l_;
+  RestoreState restore_state_;
+};
+
+}  // namespace
+
+void control_thread_main(EnclaveEnv& env, ControlMailbox& mailbox,
+                         ControlDeps& deps) {
+  ControlEngine engine(env, deps);
+  for (;;) {
+    ControlCmd cmd = mailbox.wait_cmd(env.ctx());
+    if (cmd.type == ControlCmd::Type::kShutdown) {
+      mailbox.reply(env.ctx(), {});
+      return;
+    }
+    ControlReply reply = engine.handle(cmd);
+    mailbox.reply(env.ctx(), std::move(reply));
+  }
+}
+
+}  // namespace mig::sdk

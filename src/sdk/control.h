@@ -1,0 +1,174 @@
+// The control thread (§III of the paper) and its mailbox.
+//
+// "We introduce control thread, a new thread that runs within each enclave,
+//  to assist migration... Control threads are totally transparent to enclave
+//  developers as long as the developers use our SDK."
+//
+// The mailbox is UNTRUSTED shared memory between the in-enclave control
+// thread and the outside world (SGX library / migration manager). Commands
+// and replies carry only data the enclave chooses to expose: sealed
+// checkpoints, public DH values, quotes, pump counts. All secrets stay in
+// enclave memory; all integrity-bearing decisions happen inside.
+//
+// Command set:
+//   kProvision         — launch-time owner attestation (Fig. 7 left):
+//                        attest to the owner, receive the provisioning key,
+//                        decrypt the embedded identity private key.
+//   kPrepareCheckpoint — two-phase checkpointing (§IV-B) + state dump (§IV):
+//                        sets the global flag, waits for the quiescent
+//                        point, dumps memory + thread state, seals it under
+//                        a fresh in-enclave Kmigrate.
+//   kServeKey          — source role of §V-B: accept exactly ONE key-
+//                        exchange request, remotely attest the requester
+//                        (owner-free), deliver Kmigrate, then self-destroy.
+//   kCancelMigration   — §V-B: migration cancelled; delete Kmigrate and
+//                        unset the global flag so workers resume.
+//   kRestore           — target role: handshake for Kmigrate (via the source
+//                        enclave or a local agent enclave), decrypt + verify
+//                        the checkpoint, restore memory, emit the CSSA pump
+//                        plan for the untrusted library.
+//   kFinishRestore     — after pumping: verify the in-enclave-tracked CSSA
+//                        against the checkpoint (§IV-C Step-4), reconstruct
+//                        SSA frames, unset flags.
+//   kOwnerCheckpoint / kOwnerRestore — §V-C legal checkpoint/resume with an
+//                        owner-issued Kencrypt (audited on the owner side).
+//   kShutdown          — leave the enclave so EREMOVE can proceed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "sdk/enclave_env.h"
+#include "sgx/attestation.h"
+#include "sim/network.h"
+
+namespace mig::sdk {
+
+struct PumpPlan {
+  uint64_t worker_idx = 0;
+  uint64_t pumps = 0;  // EENTER+AEX cycles to reach the checkpointed CSSA
+};
+
+// A local-attestation key request (client enclave -> agent enclave).
+struct AgentRequest {
+  sgx::Report report;  // targeted at the agent, binds dh_pub
+  Bytes dh_pub;
+};
+
+struct ControlCmd {
+  enum class Type {
+    kProvision,
+    kPrepareCheckpoint,
+    kServeKey,
+    kCancelMigration,
+    kRestore,
+    kFinishRestore,
+    kOwnerCheckpoint,
+    kOwnerRestore,
+    kAgentFetchKey,   // agent role: obtain Kmigrate from the source enclave
+    kAgentServeLocal, // agent role: answer one local-attestation key request
+    // STRAWMAN used by the §IV-A attack demonstration: dump immediately,
+    // trusting that the (untrusted!) OS already stopped the worker threads.
+    // The paper's design never uses this; attacks/ does.
+    kNaiveDump,
+    kShutdown,
+  };
+  Type type = Type::kShutdown;
+  std::optional<sim::Channel::End> channel;  // network peer for this command
+  crypto::CipherAlg cipher = crypto::CipherAlg::kRc4;
+  Bytes blob;  // checkpoint in (restore paths)
+  // §VII-A side-channel mitigation: pad the checkpoint so its size does not
+  // reflect the enclave's live memory usage. 0 = no padding; otherwise the
+  // plaintext is padded up to the next multiple of this many bytes.
+  uint64_t pad_to_multiple = 0;
+  // kRestore with a local agent: mailbox of the agent enclave on this
+  // machine (key obtained by local attestation instead of WAN).
+  class AgentPort* agent = nullptr;
+  // kServeKey: also accept a developer agent enclave (same MRSIGNER) as the
+  // key recipient, not only a same-MRENCLAVE target (§VI-D).
+  bool allow_agent_recipient = false;
+  // kAgentServeLocal: the local-attestation request being answered.
+  std::optional<AgentRequest> agent_request;
+};
+
+struct ControlReply {
+  Status status = OkStatus();
+  Bytes blob;                    // sealed checkpoint out (prepare paths)
+  std::vector<PumpPlan> pumps;   // restore path
+};
+
+// One-command-at-a-time rendezvous between untrusted host code and the
+// control thread.
+class ControlMailbox {
+ public:
+  explicit ControlMailbox(sim::Executor& exec)
+      : cmd_ready_(exec), reply_ready_(exec), free_(exec) {}
+
+  // Host side: posts a command and blocks until the control thread replies.
+  ControlReply post(sim::ThreadCtx& ctx, ControlCmd cmd);
+
+  // Control-thread side.
+  ControlCmd wait_cmd(sim::ThreadCtx& ctx);
+  void reply(sim::ThreadCtx& ctx, ControlReply reply);
+
+ private:
+  sim::Event cmd_ready_;
+  sim::Event reply_ready_;
+  sim::Event free_;  // broadcast when the mailbox frees up (no polling)
+  bool busy_ = false;
+  std::optional<ControlCmd> cmd_;
+  std::optional<ControlReply> reply_;
+};
+
+// Local-attestation key service exposed by an agent enclave (§VI-D
+// optimization). The port itself is untrusted plumbing; the payloads are
+// protected by the report MAC + DH.
+class AgentPort {
+ public:
+  using Request = AgentRequest;
+  struct Response {
+    Status status = OkStatus();
+    Bytes dh_pub;
+    Bytes enc_kmigrate;  // under the DH session key
+  };
+  using Handler = std::function<Response(sim::ThreadCtx&, const Request&)>;
+
+  // Measurement of the agent enclave (so clients can EREPORT at it).
+  void set_target_info(sgx::TargetInfo info) { target_info_ = info; }
+  const sgx::TargetInfo& target_info() const { return target_info_; }
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  Response request(sim::ThreadCtx& ctx, const Request& r) {
+    if (!handler_)
+      return Response{Error(ErrorCode::kUnavailable, "agent not ready"), {}, {}};
+    return handler_(ctx, r);
+  }
+
+ private:
+  sgx::TargetInfo target_info_;
+  Handler handler_;
+};
+
+// Everything the control thread needs from its surroundings. The qe/ias
+// pointers model the untrusted-relay round trips to the quoting enclave and
+// the attestation service; trust is established by signatures, not by these
+// pointers.
+struct ControlDeps {
+  sgx::QuotingEnclave* qe = nullptr;
+  sgx::AttestationService* ias = nullptr;
+  crypto::Drbg rng{Bytes{0}};  // in-enclave entropy (RDRAND stand-in)
+};
+
+// Body of the control thread; runs inside the enclave on its own TCS until
+// kShutdown. Defined in control.cc.
+void control_thread_main(EnclaveEnv& env, ControlMailbox& mailbox,
+                         ControlDeps& deps);
+
+// Computes a worker's true CSSA from its checkpointed flags per §IV-C:
+// free -> 0; spin -> CSSA_EENTER + 1.
+uint64_t true_cssa_from_flags(uint64_t local_flag, uint64_t cssa_eenter);
+
+}  // namespace mig::sdk

@@ -1,0 +1,88 @@
+#include "sdk/enclave_libc.h"
+
+#include "util/check.h"
+
+namespace mig::sdk {
+
+namespace {
+constexpr uint64_t align16(uint64_t v) { return (v + 15) & ~uint64_t{15}; }
+}  // namespace
+
+void EnclaveAllocator::ensure_formatted() {
+  if (env_->read_u64(kOffHeapMagic) == kMagic) return;
+  // One big free block spanning the whole heap.
+  uint64_t payload = heap_end() - heap_begin() - kHeaderBytes;
+  env_->write_u64(heap_begin(), payload);
+  env_->write_u64(heap_begin() + 8, 1);  // free
+  env_->write_u64(kOffHeapMagic, kMagic);
+}
+
+Result<uint64_t> EnclaveAllocator::malloc(uint64_t bytes) {
+  if (bytes == 0) return Error(ErrorCode::kInvalidArgument, "malloc(0)");
+  ensure_formatted();
+  uint64_t need = align16(bytes);
+  uint64_t block = heap_begin();
+  while (block + kHeaderBytes <= heap_end()) {
+    uint64_t size = env_->read_u64(block);
+    uint64_t is_free = env_->read_u64(block + 8);
+    MIG_CHECK_MSG(size > 0 && block + kHeaderBytes + size <= heap_end(),
+                  "corrupt heap block @" << block);
+    env_->work(40);  // walk cost
+    if (is_free == 1 && size >= need) {
+      // Split if the remainder can hold another block.
+      if (size >= need + kHeaderBytes + 16) {
+        uint64_t rest = block + kHeaderBytes + need;
+        env_->write_u64(rest, size - need - kHeaderBytes);
+        env_->write_u64(rest + 8, 1);
+        env_->write_u64(block, need);
+      }
+      env_->write_u64(block + 8, 0);
+      return block + kHeaderBytes;
+    }
+    block += kHeaderBytes + size;
+  }
+  return Error(ErrorCode::kResourceExhausted, "enclave heap exhausted");
+}
+
+Status EnclaveAllocator::free(uint64_t ptr) {
+  ensure_formatted();
+  if (ptr < heap_begin() + kHeaderBytes || ptr >= heap_end())
+    return Error(ErrorCode::kInvalidArgument, "free of non-heap pointer");
+  uint64_t block = ptr - kHeaderBytes;
+  uint64_t size = env_->read_u64(block);
+  if (env_->read_u64(block + 8) != 0)
+    return Error(ErrorCode::kFailedPrecondition, "double free");
+  env_->write_u64(block + 8, 1);
+  // Coalesce with the next block if it is free.
+  uint64_t next = block + kHeaderBytes + size;
+  if (next + kHeaderBytes <= heap_end() && env_->read_u64(next + 8) == 1) {
+    uint64_t next_size = env_->read_u64(next);
+    env_->write_u64(block, size + kHeaderBytes + next_size);
+  }
+  return OkStatus();
+}
+
+uint64_t EnclaveAllocator::free_bytes() {
+  ensure_formatted();
+  uint64_t total = 0;
+  uint64_t block = heap_begin();
+  while (block + kHeaderBytes <= heap_end()) {
+    uint64_t size = env_->read_u64(block);
+    if (env_->read_u64(block + 8) == 1) total += size;
+    block += kHeaderBytes + size;
+  }
+  return total;
+}
+
+uint64_t EnclaveAllocator::block_count() {
+  ensure_formatted();
+  uint64_t n = 0;
+  uint64_t block = heap_begin();
+  while (block + kHeaderBytes <= heap_end()) {
+    ++n;
+    block += kHeaderBytes + env_->read_u64(block);
+  }
+  return n;
+}
+
+}  // namespace mig::sdk

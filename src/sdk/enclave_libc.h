@@ -1,0 +1,50 @@
+// The SDK's simplified in-enclave libc (§VI-C): "our SDK supports most of
+// libc functions in enclave through statically linking a simplified libc
+// within enclave. For some functions, such as malloc and free, the SDK
+// implements them in enclave directly. For other functions requiring
+// invoking system calls, such as read and write, they will eventually be
+// forwarded to the outside SGX library."
+//
+// Two pieces:
+//  * EnclaveAllocator — a first-fit free-list malloc/free whose entire state
+//    (block headers included) lives in the enclave heap region, so it
+//    checkpoints and migrates with everything else;
+//  * ocalls — EnclaveEnv::ocall() charges the EEXIT/EENTER crossing and the
+//    syscall, then runs a host-registered handler. Handlers live in the
+//    untrusted SGX library; the enclave treats results as untrusted input.
+#pragma once
+
+#include "sdk/enclave_env.h"
+
+namespace mig::sdk {
+
+// Free-list allocator over [heap_off, heap_off + heap_pages * page). Block
+// header: u64 size (payload bytes) | u64 free flag | padding to 16. The list
+// is implicit by address order, which makes coalescing a next-block check.
+class EnclaveAllocator {
+ public:
+  explicit EnclaveAllocator(EnclaveEnv& env) : env_(&env) {}
+
+  // Lazily formats the heap on first use (detected via a magic word in the
+  // meta page, so a restored enclave keeps its allocations).
+  Result<uint64_t> malloc(uint64_t bytes);
+  Status free(uint64_t ptr);
+
+  // Introspection for tests.
+  uint64_t free_bytes();
+  uint64_t block_count();
+
+ private:
+  static constexpr uint64_t kHeaderBytes = 16;
+  static constexpr uint64_t kMagic = 0x1a110cull;
+  // Meta-page word recording that the heap has been formatted.
+  static constexpr uint64_t kOffHeapMagic = kOffAppMeta - 8;
+
+  void ensure_formatted();
+  uint64_t heap_begin() const { return env_->layout().heap_off; }
+  uint64_t heap_end() const { return env_->layout().size; }
+
+  EnclaveEnv* env_;
+};
+
+}  // namespace mig::sdk

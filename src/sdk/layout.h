@@ -1,0 +1,125 @@
+// Enclave memory layout, fixed at build time (the paper: "The memory layout
+// of an enclave is decided during development. Our SDK puts the global flag
+// at the beginning of enclave, so the address of the global flag can help
+// the control thread to determine the address range of the enclave.").
+//
+//   +-------------------+ base
+//   | meta page         |  global flag @ +0, pump mode, runtime fields,
+//   |                   |  in-enclave secrets (provisioned identity key,
+//   |                   |  Kmigrate) — all RW, all part of the checkpoint
+//   +-------------------+
+//   | config pages (R)  |  identity public key, encrypted identity private
+//   |                   |  key, IAS public key — image content, never dumped
+//   +-------------------+
+//   | TCS pages         |  one per worker + one for the control thread
+//   +-------------------+
+//   | SSA region        |  nssa=2 frames (pages) per TCS
+//   +-------------------+
+//   | thread-local pages|  local flag, flag stack, CSSA_EENTER record,
+//   |                   |  resumable ecall frame — one page per TCS
+//   +-------------------+
+//   | code pages (RX)   |  measured program identity
+//   +-------------------+
+//   | data pages (RW)   |  application initial data
+//   +-------------------+
+//   | heap pages (RW)   |  in-enclave malloc arena
+//   +-------------------+ base + size
+#pragma once
+
+#include <cstdint>
+
+#include "sgx/types.h"
+
+namespace mig::sdk {
+
+inline constexpr uint64_t kEnclaveBase = 0x10000000;
+inline constexpr uint64_t kNssa = 2;
+
+// ---- meta page field offsets (from enclave base) ----
+// Flag values for the two-phase protocol (paper Fig. 4).
+inline constexpr uint64_t kFlagFree = 0;
+inline constexpr uint64_t kFlagBusy = 1;
+inline constexpr uint64_t kFlagSpin = 2;
+
+inline constexpr uint64_t kOffGlobalFlag = 0;       // u64: 0/1
+inline constexpr uint64_t kOffPumpMode = 8;         // u64: CSSA-restore pumping
+inline constexpr uint64_t kOffNumWorkers = 16;      // u64 (runtime mirror)
+inline constexpr uint64_t kOffProvisioned = 24;     // u64: identity key present
+inline constexpr uint64_t kOffSelfDestroyed = 32;   // u64: never resume again
+inline constexpr uint64_t kOffKeyServed = 48;       // u64: Kmigrate delivered
+inline constexpr uint64_t kOffAgentHasKey = 56;     // u64: agent role holds key
+inline constexpr uint64_t kOffIdentityPriv = 64;    // 160 B: plaintext identity sk
+inline constexpr uint64_t kOffKmigrate = 256;       // 32 B: migration key
+inline constexpr uint64_t kOffAppMeta = 512;        // app-visible scratch
+
+// ---- thread-local page field offsets (within the thread's page) ----
+inline constexpr uint64_t kTlLocalFlag = 0;     // u64: free/busy/spin
+inline constexpr uint64_t kTlFlagSp = 8;        // u64: flag stack depth
+inline constexpr uint64_t kTlFlagStack = 16;    // 4 x u64
+inline constexpr uint64_t kTlCssaEenter = 48;   // u64: rax of latest EENTER
+inline constexpr uint64_t kTlEcallId = 56;      // u64
+inline constexpr uint64_t kTlPc = 64;           // u64: resumable step index
+inline constexpr uint64_t kTlLocals = 72;       // 16 x u64
+inline constexpr uint64_t kTlArgLen = 200;      // u64
+inline constexpr uint64_t kTlArgs = 208;        // up to 512 B
+inline constexpr uint64_t kTlArgsMax = 512;
+
+struct LayoutParams {
+  uint64_t num_workers = 2;
+  uint64_t config_pages = 1;
+  uint64_t code_pages = 4;
+  uint64_t data_pages = 2;
+  uint64_t heap_pages = 4;
+};
+
+// All offsets are relative to the enclave base.
+struct Layout {
+  LayoutParams params;
+  uint64_t num_tcs = 0;       // workers + control thread
+  uint64_t meta_off = 0;
+  uint64_t config_off = 0;
+  uint64_t tcs_off = 0;
+  uint64_t ssa_off = 0;
+  uint64_t tls_off = 0;
+  uint64_t code_off = 0;
+  uint64_t data_off = 0;
+  uint64_t heap_off = 0;
+  uint64_t size = 0;
+
+  static Layout compute(const LayoutParams& p) {
+    Layout l;
+    l.params = p;
+    l.num_tcs = p.num_workers + 1;  // + control thread (auto-inserted)
+    uint64_t off = sgx::kPageSize;  // meta page at 0
+    l.config_off = off;
+    off += p.config_pages * sgx::kPageSize;
+    l.tcs_off = off;
+    off += l.num_tcs * sgx::kPageSize;
+    l.ssa_off = off;
+    off += l.num_tcs * kNssa * sgx::kPageSize;
+    l.tls_off = off;
+    off += l.num_tcs * sgx::kPageSize;
+    l.code_off = off;
+    off += p.code_pages * sgx::kPageSize;
+    l.data_off = off;
+    off += p.data_pages * sgx::kPageSize;
+    l.heap_off = off;
+    off += p.heap_pages * sgx::kPageSize;
+    l.size = off;
+    return l;
+  }
+
+  uint64_t control_tcs_index() const { return params.num_workers; }
+  uint64_t tcs_offset(uint64_t idx) const {
+    return tcs_off + idx * sgx::kPageSize;
+  }
+  uint64_t ssa_offset(uint64_t idx) const {
+    return ssa_off + idx * kNssa * sgx::kPageSize;
+  }
+  uint64_t tls_offset(uint64_t idx) const {
+    return tls_off + idx * sgx::kPageSize;
+  }
+  uint64_t total_pages() const { return size / sgx::kPageSize; }
+};
+
+}  // namespace mig::sdk

@@ -1,0 +1,2 @@
+// Module anchor; real sources accompany it.
+namespace mig { const char* k_sdk_module = "sdk"; }

@@ -1,0 +1,68 @@
+#include "sgx/image.h"
+
+#include "crypto/sha256.h"
+#include "util/serde.h"
+
+namespace mig::sgx {
+
+crypto::Digest EnclaveImage::measure() const {
+  crypto::Sha256 m;
+  {
+    Writer w;
+    w.str("ECREATE");
+    w.u64(size);
+    w.u64(isv_prod_id);
+    w.u64(isv_svn);
+    m.update(w.data());
+  }
+  for (const ImagePage& page : pages) {
+    {
+      Writer w;
+      w.str("EADD");
+      w.u64(page.offset);
+      w.u8(static_cast<uint8_t>(page.type));
+      Perms p = page.type == PageType::kTcs ? Perms{} : page.perms;
+      w.u8(static_cast<uint8_t>(p.r) | (p.w << 1) | (p.x << 2));
+      m.update(w.data());
+    }
+    // EEXTEND measures the page as the hardware stores it: REG pages hold
+    // raw content; TCS pages hold the serialized TCS (type tag + fields,
+    // CSSA = 0).
+    Bytes stored;
+    if (page.type == PageType::kTcs) {
+      Reader r(page.content);
+      uint64_t oentry = r.u64();
+      uint64_t ossa = r.u64();
+      uint64_t nssa = r.u64();
+      Writer w;
+      w.u8(static_cast<uint8_t>(PageType::kTcs));
+      w.u64(oentry);
+      w.u64(ossa);
+      w.u64(nssa);
+      w.u64(0);
+      stored = w.take();
+    } else {
+      stored = page.content;
+    }
+    stored.resize(kPageSize, 0);
+    for (uint64_t off = 0; off < kPageSize; off += 256) {
+      Writer w;
+      w.str("EEXTEND");
+      w.u64(page.offset + off);
+      w.raw(ByteSpan(stored).subspan(off, 256));
+      m.update(w.data());
+    }
+  }
+  return m.finish();
+}
+
+void EnclaveImage::sign(const crypto::SigKeyPair& signer, crypto::Drbg& rng) {
+  sigstruct.enclave_hash = measure();
+  sigstruct.signer_pk = signer.pk.to_bytes();
+  sigstruct.signature =
+      crypto::sig_sign(signer.sk, sigstruct.enclave_hash, rng);
+  sigstruct.isv_prod_id = isv_prod_id;
+  sigstruct.isv_svn = isv_svn;
+}
+
+}  // namespace mig::sgx

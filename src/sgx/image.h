@@ -1,0 +1,41 @@
+// Enclave image: the serializable build artifact the SDK produces and the
+// guest driver consumes (ECREATE/EADD/EEXTEND/EINIT sequence). Identical
+// images yield identical MRENCLAVE on any machine — that is what lets the
+// target create a "virgin enclave using the same image" (§III Step-1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/dh.h"
+#include "sgx/types.h"
+#include "util/bytes.h"
+
+namespace mig::sgx {
+
+struct ImagePage {
+  uint64_t offset = 0;  // from enclave base
+  PageType type = PageType::kReg;
+  Perms perms;
+  Bytes content;  // <= kPageSize; zero-extended by EADD
+};
+
+struct EnclaveImage {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  uint64_t isv_prod_id = 0;
+  uint64_t isv_svn = 0;
+  std::vector<ImagePage> pages;  // EADD/EEXTEND order
+  SigStruct sigstruct;
+
+  // Computes the MRENCLAVE this image will measure to (the SDK signs this;
+  // EINIT recomputes and compares). Must mirror SgxHardware's protocol.
+  crypto::Digest measure() const;
+
+  // Convenience for the enclave author: sign the measurement.
+  void sign(const crypto::SigKeyPair& signer, crypto::Drbg& rng);
+};
+
+}  // namespace mig::sgx

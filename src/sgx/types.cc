@@ -1,0 +1,17 @@
+#include "sgx/types.h"
+
+#include "util/serde.h"
+
+namespace mig::sgx {
+
+Bytes Report::serialize_body() const {
+  Writer w;
+  w.raw(mrenclave);
+  w.raw(mrsigner);
+  w.u64(isv_prod_id);
+  w.u64(isv_svn);
+  w.bytes(report_data);
+  return w.take();
+}
+
+}  // namespace mig::sgx

@@ -1,0 +1,101 @@
+// Architectural vocabulary of the SGX model: page types, permissions, SECS,
+// TCS, SIGSTRUCT, REPORT. Field names follow the Intel SDM (vol. 3D) so the
+// code reads like the spec the paper programs against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace mig::sgx {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kSsaFrameSize = kPageSize;  // one page per SSA frame
+inline constexpr int kVaSlotsPerPage = 512;           // 8-byte slots
+
+using EnclaveId = uint64_t;
+inline constexpr EnclaveId kNoEnclave = 0;
+
+enum class PageType : uint8_t {
+  kSecs = 0,
+  kTcs = 1,
+  kReg = 2,
+  kVa = 3,
+};
+
+// Page permissions; EPCM-enforced for PT_REG pages.
+struct Perms {
+  bool r = false, w = false, x = false;
+
+  static Perms rw() { return {true, true, false}; }
+  static Perms rx() { return {true, false, true}; }
+  static Perms rwx() { return {true, true, true}; }
+  static Perms wx_only() { return {false, true, true}; }  // the SGXv1 problem case
+
+  friend bool operator==(const Perms&, const Perms&) = default;
+};
+
+// SGX Enclave Control Structure: per-enclave hardware metadata. Lives in a
+// PT_SECS EPC page; no software — not even the enclave — can read it.
+struct Secs {
+  EnclaveId eid = kNoEnclave;
+  uint64_t base = 0;          // enclave linear base address
+  uint64_t size = 0;          // enclave linear size (bytes)
+  bool initialized = false;   // EINIT done
+  crypto::Digest mrenclave{}; // measurement (final after EINIT)
+  crypto::Digest mrsigner{};  // H(signer public key)
+  uint64_t isv_prod_id = 0;
+  uint64_t isv_svn = 0;
+  // Running measurement state pre-EINIT.
+  crypto::Sha256 measuring;
+};
+
+// Thread Control Structure: per-enclave-thread hardware metadata. Lives in a
+// PT_TCS EPC page; CSSA in particular is readable by no software, which is
+// the crux of the paper's §IV-C tracking problem.
+struct Tcs {
+  uint64_t oentry = 0;  // entry point offset (fixed entry per TCS)
+  uint64_t ossa = 0;    // offset of the SSA array within the enclave
+  uint64_t nssa = 0;    // number of SSA frames
+  uint64_t cssa = 0;    // current SSA index — hardware-private
+  bool busy = false;    // a logical processor is inside via this TCS
+};
+
+// The enclave certificate checked by EINIT. The signer signs the expected
+// measurement; MRSIGNER becomes H(signer_pk).
+struct SigStruct {
+  crypto::Digest enclave_hash{};  // expected MRENCLAVE
+  Bytes signer_pk;                // serialized Schnorr public key
+  Bytes signature;                // over enclave_hash
+  uint64_t isv_prod_id = 0;
+  uint64_t isv_svn = 0;
+};
+
+// EREPORT output: locally-verifiable attestation statement. The MAC is keyed
+// with the *target* enclave's report key, so only that enclave (on the same
+// machine) can verify it.
+struct Report {
+  crypto::Digest mrenclave{};
+  crypto::Digest mrsigner{};
+  uint64_t isv_prod_id = 0;
+  uint64_t isv_svn = 0;
+  Bytes report_data;  // 64 bytes of caller-chosen binding data
+  crypto::Digest mac{};
+
+  Bytes serialize_body() const;
+};
+
+// TARGETINFO for EREPORT: identifies which enclave should be able to verify.
+struct TargetInfo {
+  crypto::Digest mrenclave{};
+};
+
+// Key names for EGETKEY.
+enum class KeyName : uint8_t {
+  kReport = 0,   // verifies REPORTs targeted at this enclave
+  kSeal = 1,     // per-(machine, MRSIGNER) sealing key
+};
+
+}  // namespace mig::sgx

@@ -1,0 +1,361 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mig::sim {
+
+namespace {
+// A sim thread's ThreadCtx lives in thread-local storage so ctx methods can
+// find their executor state without plumbing.
+thread_local ThreadCtx* tls_ctx = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------- ThreadCtx
+
+void ThreadCtx::work(uint64_t ns) { executor_->thread_work(executor_->get(id_), ns); }
+void ThreadCtx::work_atomic(uint64_t ns) {
+  executor_->thread_work_atomic(executor_->get(id_), ns);
+}
+void ThreadCtx::sleep(uint64_t ns) { executor_->thread_sleep(executor_->get(id_), ns); }
+void ThreadCtx::yield() { executor_->thread_yield(executor_->get(id_)); }
+uint64_t ThreadCtx::now() const { return executor_->get(id_).vtime; }
+
+ThreadCtx::PreemptHook ThreadCtx::set_preempt_hook(PreemptHook hook) {
+  auto& t = executor_->get(id_);
+  std::swap(t.preempt_hook, hook);
+  return hook;
+}
+
+// -------------------------------------------------------------------- Event
+
+void Event::wait(ThreadCtx& ctx) {
+  executor_->thread_wait_event(executor_->get(ctx.id()), *this);
+}
+
+void Event::set(ThreadCtx& ctx) {
+  executor_->event_set(&executor_->get(ctx.id()), *this);
+}
+
+// ----------------------------------------------------------------- Executor
+
+Executor::Executor(int num_cpus, uint64_t quantum_ns)
+    : cpu_free_(static_cast<size_t>(num_cpus), 0), quantum_ns_(quantum_ns) {
+  MIG_CHECK(num_cpus >= 1);
+  MIG_CHECK(quantum_ns >= 1);
+}
+
+Executor::~Executor() { shutdown(); }
+
+Executor::SimThread& Executor::get(ThreadId id) {
+  MIG_CHECK_MSG(id >= 1 && id <= threads_.size(), "bad thread id " << id);
+  return *threads_[id - 1];
+}
+
+const Executor::SimThread& Executor::get(ThreadId id) const {
+  MIG_CHECK_MSG(id >= 1 && id <= threads_.size(), "bad thread id " << id);
+  return *threads_[id - 1];
+}
+
+ThreadId Executor::spawn(std::string name, ThreadFn fn, bool daemon) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MIG_CHECK_MSG(!shutting_down_, "spawn during shutdown");
+  auto t = std::make_unique<SimThread>();
+  t->id = next_id_++;
+  t->name = std::move(name);
+  t->daemon = daemon;
+  t->ctx.reset(new ThreadCtx(this, t->id, t->name));
+  // Start no earlier than the spawner's clock (causality).
+  uint64_t start_at = sched_now_;
+  if (tls_ctx != nullptr && tls_ctx->executor_ == this) {
+    start_at = std::max(start_at, get(tls_ctx->id()).vtime);
+  }
+  t->vtime = start_at;
+  t->ready_at = start_at;
+  SimThread* tp = t.get();
+  threads_.push_back(std::move(t));
+
+  tp->os_thread = std::thread([this, tp, fn = std::move(fn)]() {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      tp->cv.wait(l, [&] { return tp->baton; });
+    }
+    tls_ctx = tp->ctx.get();
+    try {
+      if (!tp->kill_requested) fn(*tp->ctx);
+    } catch (const ThreadKilled&) {
+      // Normal cancellation path.
+    }
+    tls_ctx = nullptr;
+    std::unique_lock<std::mutex> l(mu_);
+    tp->state = State::kFinished;
+    tp->baton = false;
+    tp->yielded_back = true;
+    driver_cv_.notify_all();
+  });
+  return tp->id;
+}
+
+bool Executor::drained_locked() const {
+  for (const auto& t : threads_) {
+    if (!t->daemon && t->state != State::kFinished) return false;
+  }
+  return true;
+}
+
+bool Executor::step_locked(std::unique_lock<std::mutex>& lock) {
+  // Earliest-start-first among runnable threads; ties broken by id for
+  // determinism. All CPUs are identical, so a burst starts at
+  // max(thread.ready_at, earliest-free CPU).
+  uint64_t cpu_earliest = *std::min_element(cpu_free_.begin(), cpu_free_.end());
+  SimThread* best = nullptr;
+  uint64_t best_start = std::numeric_limits<uint64_t>::max();
+  for (const auto& t : threads_) {
+    if (t->state != State::kRunnable) continue;
+    uint64_t start = std::max(t->ready_at, cpu_earliest);
+    // Earliest start wins; ties go to the least-recently-scheduled thread so
+    // no runnable thread starves (round-robin among equals). Both criteria
+    // are deterministic.
+    if (start < best_start ||
+        (best != nullptr && start == best_start &&
+         t->last_sched < best->last_sched)) {
+      best_start = start;
+      best = t.get();
+    }
+  }
+  if (best == nullptr) return false;
+  best->last_sched = stats_.slices + 1;
+
+  sched_now_ = std::max(sched_now_, best_start);
+  best->vtime = std::max(best->vtime, best_start);
+  best->state = State::kRunning;
+  running_ = best->id;
+  ++stats_.slices;
+
+  best->baton = true;
+  best->yielded_back = false;
+  best->cv.notify_one();
+  driver_cv_.wait(lock, [&] { return best->yielded_back; });
+  running_ = kInvalidThread;
+  return true;
+}
+
+bool Executor::run() {
+  // Safety net against accidental infinite simulations (e.g. a worker
+  // spin-waiting on a flag nobody will ever clear but not marked daemon).
+  return run_until(std::numeric_limits<uint64_t>::max());
+}
+
+bool Executor::run_until(uint64_t deadline_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (drained_locked()) return true;
+    if (sched_now_ >= deadline_ns) return true;
+    if (!step_locked(lock)) {
+      // Non-daemon threads remain but nothing is runnable: a hang.
+      return false;
+    }
+  }
+}
+
+void Executor::kill(ThreadId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SimThread& t = get(id);
+  if (t.state == State::kFinished) return;
+  t.kill_requested = true;
+  if (t.state == State::kWaiting || t.state == State::kSuspended) {
+    t.state = State::kRunnable;
+    t.ready_at = std::max(t.vtime, sched_now_);
+  }
+  // Delivery happens at the thread's next scheduling point.
+}
+
+void Executor::suspend(ThreadId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SimThread& t = get(id);
+  MIG_CHECK_MSG(t.state == State::kRunnable || t.state == State::kWaiting,
+                "suspend on thread '" << t.name << "' in bad state");
+  if (t.state == State::kRunnable) t.state = State::kSuspended;
+  // A thread blocked on an Event stays kWaiting; suspension of event-blocked
+  // threads is modeled by the OS simply not scheduling them, which the event
+  // already achieves.
+}
+
+void Executor::resume(ThreadId id, uint64_t at_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SimThread& t = get(id);
+  if (t.state != State::kSuspended) return;
+  t.state = State::kRunnable;
+  t.ready_at = std::max(t.vtime, at_ns);
+}
+
+bool Executor::finished(ThreadId id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return get(id).state == State::kFinished;
+}
+
+std::string Executor::dump_state() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& t : threads_) {
+    if (t->state == State::kFinished) continue;
+    const char* state = "?";
+    switch (t->state) {
+      case State::kRunnable: state = "RUNNABLE"; break;
+      case State::kRunning: state = "RUNNING"; break;
+      case State::kWaiting: state = "WAITING"; break;
+      case State::kSuspended: state = "SUSPENDED"; break;
+      case State::kFinished: state = "FINISHED"; break;
+    }
+    out += "  " + t->name + (t->daemon ? " [daemon] " : " ") + state +
+           " vtime=" + std::to_string(t->vtime) + "\n";
+  }
+  return out;
+}
+
+void Executor::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    for (auto& t : threads_) {
+      if (t->state == State::kFinished) continue;
+      t->kill_requested = true;
+      if (t->state == State::kWaiting || t->state == State::kSuspended) {
+        t->state = State::kRunnable;
+        t->ready_at = std::max(t->vtime, sched_now_);
+      }
+    }
+    // Drive remaining threads to completion; each observes ThreadKilled at
+    // its next scheduling point.
+    for (;;) {
+      bool any_live = false;
+      for (auto& t : threads_) {
+        if (t->state != State::kFinished) any_live = true;
+      }
+      if (!any_live) break;
+      if (!step_locked(lock)) break;  // nothing runnable: threads that never
+                                      // started are handled below
+    }
+    // Threads that were spawned but never scheduled: hand them the baton so
+    // the trampoline exits via the kill check.
+    for (auto& t : threads_) {
+      if (t->state != State::kFinished && t->os_thread.joinable()) {
+        t->baton = true;
+        t->cv.notify_one();
+        driver_cv_.wait(lock, [&] { return t->yielded_back; });
+      }
+    }
+  }
+  for (auto& t : threads_) {
+    if (t->os_thread.joinable()) t->os_thread.join();
+  }
+}
+
+// ----------------------------------------------- sim-thread-side primitives
+
+void Executor::check_kill(SimThread& t) {
+  if (t.kill_requested) throw ThreadKilled{};
+}
+
+void Executor::reschedule_locked(std::unique_lock<std::mutex>& lock,
+                                 SimThread& t) {
+  // Release the CPU this slice occupied. cpu_release excludes non-CPU time
+  // (sleeping, waiting) so those do not block other threads' bursts.
+  auto it = std::min_element(cpu_free_.begin(), cpu_free_.end());
+  *it = std::max(*it, t.cpu_release);
+
+  t.baton = false;
+  t.yielded_back = true;
+  driver_cv_.notify_all();
+  t.cv.wait(lock, [&] { return t.baton; });
+  t.state = State::kRunning;
+  check_kill(t);
+}
+
+void Executor::thread_work(SimThread& t, uint64_t ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  uint64_t remaining = ns;
+  while (remaining > 0) {
+    uint64_t chunk = std::min(remaining, quantum_ns_);
+    t.vtime += chunk;
+    remaining -= chunk;
+    t.ready_at = t.vtime;
+    t.cpu_release = t.vtime;
+    t.state = State::kRunnable;
+    reschedule_locked(lock, t);
+    // Quantum boundary: deliver the preemption hook (unless we are already
+    // inside one — AEX handlers must not recursively AEX in the model).
+    if (chunk == quantum_ns_ && t.preempt_hook && !t.in_hook) {
+      ++stats_.preemptions;
+      t.in_hook = true;
+      auto hook = t.preempt_hook;  // copy: hook may replace itself
+      lock.unlock();
+      hook(*t.ctx);
+      lock.lock();
+      t.in_hook = false;
+      check_kill(t);
+    }
+  }
+}
+
+void Executor::thread_work_atomic(SimThread& t, uint64_t ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  t.vtime += ns;
+  t.ready_at = t.vtime;
+  t.cpu_release = t.vtime;
+  t.state = State::kRunnable;
+  reschedule_locked(lock, t);
+}
+
+void Executor::thread_sleep(SimThread& t, uint64_t ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  t.cpu_release = t.vtime;  // the CPU is free while we sleep
+  t.ready_at = t.vtime + ns;
+  t.vtime = t.ready_at;
+  t.state = State::kRunnable;
+  reschedule_locked(lock, t);
+}
+
+void Executor::thread_yield(SimThread& t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  t.ready_at = t.vtime;
+  t.cpu_release = t.vtime;
+  t.state = State::kRunnable;
+  reschedule_locked(lock, t);
+}
+
+void Executor::thread_wait_event(SimThread& t, Event& ev) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  if (ev.set_) {
+    t.vtime = std::max(t.vtime, ev.set_time_);
+    return;
+  }
+  ev.waiters_.push_back(t.id);
+  t.state = State::kWaiting;
+  t.cpu_release = t.vtime;
+  reschedule_locked(lock, t);
+  // Woken: clock joining happened in event_set via ready_at.
+}
+
+void Executor::event_set(SimThread* setter, Event& ev) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t at = setter != nullptr ? setter->vtime : sched_now_;
+  ev.set_ = true;
+  ev.set_time_ = std::max(ev.set_time_, at);
+  for (ThreadId id : ev.waiters_) {
+    SimThread& w = get(id);
+    if (w.state != State::kWaiting) continue;
+    w.state = State::kRunnable;
+    w.ready_at = std::max(w.vtime, at);
+    w.vtime = w.ready_at;
+  }
+  ev.waiters_.clear();
+}
+
+}  // namespace mig::sim

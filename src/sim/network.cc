@@ -1,0 +1,52 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace mig::sim {
+
+void Pipe::send(ThreadCtx& sender, Bytes message) {
+  send_sized(sender, std::move(message), 0);
+}
+
+void Pipe::send_sized(ThreadCtx& sender, Bytes message, uint64_t virtual_bytes) {
+  if (tap_) tap_(message);
+  if (severed_) return;  // dropped on the floor
+  uint64_t size = std::max<uint64_t>(message.size(), virtual_bytes);
+  // Serialization on the link: transmission starts when both the sender is
+  // ready and the link has drained the previous message.
+  uint64_t tx_start = std::max(sender.now(), link_free_ns_);
+  uint64_t tx_ns = per_byte_x100(cost_->net_ns_per_byte_x100, size);
+  uint64_t arrival = tx_start + tx_ns + cost_->net_latency_ns;
+  link_free_ns_ = tx_start + tx_ns;
+  bytes_sent_ += size;
+  ++messages_sent_;
+  queue_.push_back(InFlight{arrival, std::move(message)});
+  event_.set(sender);
+}
+
+Bytes Pipe::recv(ThreadCtx& receiver) {
+  for (;;) {
+    if (!queue_.empty()) {
+      InFlight& head = queue_.front();
+      if (head.arrival_ns > receiver.now()) {
+        receiver.sleep(head.arrival_ns - receiver.now());
+      }
+      Bytes out = std::move(head.payload);
+      queue_.pop_front();
+      return out;
+    }
+    event_.reset();
+    event_.wait(receiver);
+  }
+}
+
+std::optional<Bytes> Pipe::try_recv(ThreadCtx& receiver) {
+  if (queue_.empty() || queue_.front().arrival_ns > receiver.now()) {
+    return std::nullopt;
+  }
+  Bytes out = std::move(queue_.front().payload);
+  queue_.pop_front();
+  return out;
+}
+
+}  // namespace mig::sim

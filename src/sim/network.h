@@ -1,0 +1,112 @@
+// Simulated network links.
+//
+// The migration traffic (pre-copy rounds, enclave checkpoints, the DH key
+// exchange, attestation round trips to the owner/IAS) all flow over Channel
+// objects. A channel is a reliable, ordered duplex byte-message pipe with a
+// latency + bandwidth cost model; delivery time is computed from the sender's
+// virtual clock, and receivers block on an executor Event, so end-to-end
+// latencies in the benches are causally derived.
+//
+// Channels are also the eavesdropping point for security tests: everything
+// that crosses one is visible to the (untrusted) network, and tests can
+// register taps that record or tamper with traffic in flight.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/cost_model.h"
+#include "sim/executor.h"
+#include "util/bytes.h"
+
+namespace mig::sim {
+
+// One direction of a duplex link.
+class Pipe {
+ public:
+  Pipe(Executor& executor, const CostModel& cost)
+      : cost_(&cost), event_(executor) {}
+
+  void send(ThreadCtx& sender, Bytes message);
+
+  // Sends a small descriptor that *represents* `virtual_bytes` of bulk data
+  // (e.g. "here are 240 MB of pre-copy pages"). Transmission time and the
+  // byte counters are charged for the virtual size; only the descriptor is
+  // materialized. Keeps multi-GB VM migrations cheap to simulate.
+  void send_sized(ThreadCtx& sender, Bytes descriptor, uint64_t virtual_bytes);
+
+  // Blocks until a message is deliverable, then returns it. The receiver's
+  // clock advances to at least the message's arrival time.
+  Bytes recv(ThreadCtx& receiver);
+
+  // Non-blocking: message if one has arrived by the receiver's clock.
+  std::optional<Bytes> try_recv(ThreadCtx& receiver);
+
+  // Tap invoked on every send, may mutate (tamper) or copy (eavesdrop) the
+  // payload before it is enqueued.
+  using Tap = std::function<void(Bytes& message)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  // Simulates link failure: subsequent sends are dropped silently and
+  // blocked receivers... stay blocked (callers use timeouts at higher
+  // layers). Models the "migration cancelled due to network problem" case.
+  void sever() { severed_ = true; }
+  bool severed() const { return severed_; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct InFlight {
+    uint64_t arrival_ns;
+    Bytes payload;
+  };
+
+  const CostModel* cost_;
+  Event event_;
+  std::deque<InFlight> queue_;
+  Tap tap_;
+  bool severed_ = false;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t link_free_ns_ = 0;  // serialization: link transmits one msg at a time
+};
+
+// Duplex channel: a/b endpoints. Endpoint A sends on ab_ and receives on ba_.
+class Channel {
+ public:
+  Channel(Executor& executor, const CostModel& cost)
+      : ab_(executor, cost), ba_(executor, cost) {}
+
+  // Endpoint views.
+  class End {
+   public:
+    End(Pipe& out, Pipe& in) : out_(&out), in_(&in) {}
+    void send(ThreadCtx& ctx, Bytes m) { out_->send(ctx, std::move(m)); }
+    void send_sized(ThreadCtx& ctx, Bytes m, uint64_t virtual_bytes) {
+      out_->send_sized(ctx, std::move(m), virtual_bytes);
+    }
+    Bytes recv(ThreadCtx& ctx) { return in_->recv(ctx); }
+    std::optional<Bytes> try_recv(ThreadCtx& ctx) { return in_->try_recv(ctx); }
+   private:
+    Pipe* out_;
+    Pipe* in_;
+  };
+
+  End a() { return End(ab_, ba_); }
+  End b() { return End(ba_, ab_); }
+
+  Pipe& a_to_b() { return ab_; }
+  Pipe& b_to_a() { return ba_; }
+
+  uint64_t total_bytes() const { return ab_.bytes_sent() + ba_.bytes_sent(); }
+
+ private:
+  Pipe ab_;
+  Pipe ba_;
+};
+
+}  // namespace mig::sim

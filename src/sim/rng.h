@@ -1,0 +1,53 @@
+// Deterministic random number generation for the simulation.
+//
+// Nothing in the simulator uses std::random_device or wall-clock entropy:
+// reproducibility of every test and bench run is a design requirement. Keys
+// that the *model* treats as secret (per-CPU SGX keys, Kmigrate, DH secrets)
+// are drawn from seeded Rng instances — cryptographically meaningless, but
+// the simulation's security arguments are structural, not entropic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mig::sim {
+
+// splitmix64: tiny, fast, passes BigCrush as a mixer; plenty for simulation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  Bytes bytes(size_t n) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) cached_ = next();
+      out[i] = static_cast<uint8_t>(cached_ >> (8 * (i % 8)));
+    }
+    return out;
+  }
+
+  // Derives an independent stream (for giving subsystems their own RNGs).
+  Rng fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  uint64_t state_;
+  uint64_t cached_ = 0;
+};
+
+}  // namespace mig::sim

@@ -1,0 +1,46 @@
+// Basic byte-buffer vocabulary types used across the whole project.
+//
+// We deliberately use std::vector<uint8_t> for owned buffers and
+// std::span<const uint8_t> for read-only views (C++ Core Guidelines I.13/F.24:
+// pass spans, not pointer+length pairs).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mig {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutByteSpan = std::span<uint8_t>;
+
+// Builds a byte buffer from a string literal / std::string payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Interprets a byte buffer as text (for tests and log messages).
+inline std::string to_string(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Lowercase hex encoding, mainly for digests in logs and golden tests.
+std::string hex_encode(ByteSpan data);
+
+// Strict decoder: returns empty vector if `hex` has odd length or non-hex
+// characters. Test vectors are the only intended user.
+Bytes hex_decode(std::string_view hex);
+
+// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// XORs `src` into `dst` (sizes must match). Used by cipher code.
+void xor_into(MutByteSpan dst, ByteSpan src);
+
+}  // namespace mig

@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace mig::internal {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "MIG_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace mig::internal

@@ -1,0 +1,43 @@
+// Internal invariant checks.
+//
+// MIG_CHECK is for programmer errors (broken invariants) and always fires,
+// independent of NDEBUG: a simulator whose invariants silently corrupt is
+// worse than one that stops. Expected runtime failures (tampered checkpoint,
+// failed attestation, ...) use mig::Status instead — never these macros.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mig {
+
+// Thrown by MIG_CHECK failures so tests can assert on invariant violations.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace internal
+
+}  // namespace mig
+
+#define MIG_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::mig::internal::check_failed(#cond, __FILE__, __LINE__, "");       \
+    }                                                                     \
+  } while (0)
+
+#define MIG_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream oss__;                                           \
+      oss__ << msg;                                                       \
+      ::mig::internal::check_failed(#cond, __FILE__, __LINE__,            \
+                                    oss__.str());                         \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,115 @@
+// Expected-failure plumbing.
+//
+// Protocol-level failures — tampered checkpoints, failed attestations, a
+// malicious peer closing a channel — are *outcomes the system is designed to
+// produce*, not bugs, so they travel as values. Status carries an error code
+// and a human-readable message; Result<T> is Status-or-value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mig {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,    // SGX access-control violations observed by software
+  kFailedPrecondition,  // wrong lifecycle state (e.g. EENTER on busy TCS)
+  kResourceExhausted,   // EPC full, no VA slots, ...
+  kIntegrityViolation,  // MAC/hash/measurement mismatch
+  kAuthFailure,         // attestation or channel authentication failed
+  kAborted,             // operation refused by policy (self-destroy, ...)
+  kUnavailable,         // peer/network unavailable
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status Error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    MIG_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). MIG_CHECK enforces it.
+  T& value() & {
+    MIG_CHECK_MSG(ok(), "Result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  const T& value() const& {
+    MIG_CHECK_MSG(ok(), "Result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    MIG_CHECK_MSG(ok(), "Result::value() on error: " << status_.to_string());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates an error Status out of the current function.
+#define MIG_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::mig::Status status__ = (expr);              \
+    if (!status__.ok()) return status__;          \
+  } while (0)
+
+// Evaluates a Result expression; on error returns its Status, otherwise
+// assigns the value to `lhs` (which must be declarable here).
+#define MIG_CONCAT_INNER(a, b) a##b
+#define MIG_CONCAT(a, b) MIG_CONCAT_INNER(a, b)
+#define MIG_ASSIGN_OR_RETURN(lhs, expr)                       \
+  MIG_ASSIGN_OR_RETURN_IMPL(MIG_CONCAT(result__, __LINE__), lhs, expr)
+#define MIG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)             \
+  auto tmp = (expr);                                          \
+  if (!tmp.ok()) return tmp.status();                         \
+  lhs = std::move(tmp).value()
+
+}  // namespace mig

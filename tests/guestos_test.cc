@@ -1,0 +1,179 @@
+// Guest-OS layer tests: enclave lifecycle through the driver, the
+// migration-time enclave-creation freeze, honest thread stopping, and the
+// SDK layout invariants the driver builds from.
+#include <gtest/gtest.h>
+
+#include "guestos/guest_os.h"
+#include "hv/machine.h"
+#include "migration/owner.h"
+#include "sdk/builder.h"
+#include "sdk/host.h"
+#include "util/serde.h"
+
+namespace mig::guestos {
+namespace {
+
+std::shared_ptr<sdk::EnclaveProgram> tiny_prog() {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("tiny");
+  prog->add_ecall(1, "noop", [](sdk::EnclaveEnv& env, sdk::Frame&) {
+    env.work(100);
+    return OkStatus();
+  });
+  return prog;
+}
+
+struct OsBed {
+  hv::World world{4};
+  hv::Machine* machine = &world.add_machine("m0");
+  hv::Vm vm{hv::VmConfig{}, hv::DirtyModel{}};
+  GuestOs guest{*machine, vm};
+  Process* proc = &guest.create_process("p");
+  crypto::Drbg rng{to_bytes("os-bed")};
+  crypto::SigKeyPair signer = [] {
+    crypto::Drbg r(to_bytes("dev"));
+    return crypto::sig_keygen(r);
+  }();
+
+  sdk::BuildOutput build() {
+    sdk::BuildInput in;
+    in.program = tiny_prog();
+    return sdk::build_enclave_image(in, signer, world.ias().service_pk(), rng);
+  }
+};
+
+TEST(GuestOsTest, CreateDestroyEnclaveTracksCounts) {
+  OsBed bed;
+  bed.world.executor().spawn("t", [&](sim::ThreadCtx& ctx) {
+    sdk::BuildOutput built = bed.build();
+    auto eid = bed.guest.create_enclave(ctx, *bed.proc, built.image);
+    ASSERT_TRUE(eid.ok());
+    EXPECT_EQ(bed.guest.enclave_count(), 1u);
+    EXPECT_TRUE(bed.machine->hw().enclave_exists(*eid));
+    ASSERT_TRUE(bed.guest.destroy_enclave(ctx, *bed.proc, *eid).ok());
+    EXPECT_EQ(bed.guest.enclave_count(), 0u);
+    EXPECT_FALSE(bed.machine->hw().enclave_exists(*eid));
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
+TEST(GuestOsTest, EnclaveCreationRefusedDuringMigration) {
+  OsBed bed;
+  bed.proc->register_migration_handlers(
+      [](sim::ThreadCtx&) -> Result<uint64_t> { return uint64_t{0}; },
+      [](sim::ThreadCtx&) { return OkStatus(); });
+  bed.proc->enclave_count = 1;  // pretend: handlers registered => has enclaves
+  bed.world.executor().spawn("t", [&](sim::ThreadCtx& ctx) {
+    auto prep = bed.guest.prepare_enclaves_for_migration(ctx);
+    ASSERT_TRUE(prep.ok());
+    EXPECT_TRUE(bed.guest.migration_in_progress());
+    sdk::BuildOutput built = bed.build();
+    auto eid = bed.guest.create_enclave(ctx, *bed.proc, built.image);
+    EXPECT_FALSE(eid.ok());
+    EXPECT_EQ(eid.status().code(), ErrorCode::kUnavailable);
+    // After "arrival", creation works again.
+    ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
+    EXPECT_FALSE(bed.guest.migration_in_progress());
+    EXPECT_TRUE(bed.guest.create_enclave(ctx, *bed.proc, built.image).ok());
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
+TEST(GuestOsTest, HonestStopOtherThreadsActuallyParksThem) {
+  OsBed bed;
+  std::atomic<int> progress{0};
+  sim::ThreadId worker = sim::kInvalidThread;
+  bed.world.executor().spawn("t", [&](sim::ThreadCtx& ctx) {
+    worker = bed.proc->spawn_thread(
+        "spinny",
+        [&](sim::ThreadCtx& wctx) {
+          for (int i = 0; i < 1000; ++i) {
+            wctx.work(100'000);
+            ++progress;
+          }
+        },
+        /*daemon=*/true);
+    ctx.sleep(500'000);
+    ASSERT_TRUE(bed.guest.stop_other_threads(ctx, *bed.proc, ctx.id()).ok());
+    // Let it take effect (suspension lands at the next scheduling point).
+    ctx.sleep(1'000'000);
+    int frozen_at = progress.load();
+    ctx.sleep(20'000'000);
+    EXPECT_EQ(progress.load(), frozen_at) << "worker ran while stopped";
+    bed.guest.resume_other_threads(ctx, *bed.proc, ctx.id());
+    ctx.sleep(5'000'000);
+    EXPECT_GT(progress.load(), frozen_at) << "worker did not resume";
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
+TEST(GuestOsTest, PrepareWithoutEnclaveProcessesIsCheap) {
+  OsBed bed;
+  uint64_t elapsed = 0;
+  bed.world.executor().spawn("t", [&](sim::ThreadCtx& ctx) {
+    uint64_t t0 = ctx.now();
+    auto r = bed.guest.prepare_enclaves_for_migration(ctx);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 0u);
+    elapsed = ctx.now() - t0;
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+  EXPECT_LT(elapsed, 100'000u);  // just the upcall + hypercall
+}
+
+// ---- layout invariants ---------------------------------------------------------
+
+TEST(Layout, RegionsAreDisjointAndOrdered) {
+  for (uint64_t workers : {1u, 2u, 4u, 8u}) {
+    sdk::LayoutParams p;
+    p.num_workers = workers;
+    p.heap_pages = 7;
+    p.data_pages = 3;
+    sdk::Layout l = sdk::Layout::compute(p);
+    EXPECT_EQ(l.num_tcs, workers + 1);  // + control thread
+    EXPECT_LT(l.meta_off, l.config_off);
+    EXPECT_LT(l.config_off, l.tcs_off);
+    EXPECT_LT(l.tcs_off, l.ssa_off);
+    EXPECT_LT(l.ssa_off, l.tls_off);
+    EXPECT_LT(l.tls_off, l.code_off);
+    EXPECT_LT(l.code_off, l.data_off);
+    EXPECT_LT(l.data_off, l.heap_off);
+    EXPECT_EQ(l.heap_off + p.heap_pages * sgx::kPageSize, l.size);
+    // SSA region exactly nssa frames per TCS.
+    EXPECT_EQ(l.tls_off - l.ssa_off, l.num_tcs * sdk::kNssa * sgx::kPageSize);
+    // Per-thread offsets stay in their own pages.
+    for (uint64_t i = 0; i < l.num_tcs; ++i) {
+      EXPECT_EQ(l.tls_offset(i) % sgx::kPageSize, 0u);
+      EXPECT_LT(sdk::kTlArgs + sdk::kTlArgsMax, sgx::kPageSize);
+    }
+  }
+}
+
+TEST(Layout, ImageCoversEveryPageExactlyOnce) {
+  OsBed bed;
+  sdk::BuildOutput built = bed.build();
+  std::set<uint64_t> offsets;
+  for (const sgx::ImagePage& page : built.image.pages) {
+    EXPECT_EQ(page.offset % sgx::kPageSize, 0u);
+    EXPECT_TRUE(offsets.insert(page.offset).second)
+        << "duplicate page at " << page.offset;
+  }
+  EXPECT_EQ(offsets.size(), built.layout.total_pages());
+  EXPECT_EQ(*offsets.rbegin(), built.layout.size - sgx::kPageSize);
+}
+
+// ---- owner service ---------------------------------------------------------------
+
+TEST(Owner, KencryptStablePerEnclaveAndDistinctAcrossEnclaves) {
+  hv::World world(1);
+  migration::EnclaveOwner owner(world.ias(), crypto::Drbg(to_bytes("o")));
+  crypto::Digest a = crypto::Sha256::hash(to_bytes("enclave-a"));
+  crypto::Digest b = crypto::Sha256::hash(to_bytes("enclave-b"));
+  owner.enroll(a, {});
+  owner.enroll(b, {});
+  EXPECT_EQ(owner.kencrypt_for(a), owner.kencrypt_for(a));
+  EXPECT_NE(owner.kencrypt_for(a), owner.kencrypt_for(b));
+  EXPECT_TRUE(owner.kencrypt_for(crypto::Digest{}).empty());
+}
+
+}  // namespace
+}  // namespace mig::guestos

@@ -1,0 +1,127 @@
+// Tests for the simulated network: latency/bandwidth accounting, ordering,
+// virtual-sized bulk sends, taps (eavesdropping/tampering) and link failure.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace mig::sim {
+namespace {
+
+TEST(Network, DeliveryChargesLatencyAndBandwidth) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  const CostModel& cm = default_cost_model();
+  uint64_t recv_time = 0;
+  Bytes payload(10'000, 0xab);
+  exec.spawn("sender", [&](ThreadCtx& ctx) {
+    ch.a().send(ctx, payload);
+  });
+  exec.spawn("receiver", [&](ThreadCtx& ctx) {
+    Bytes m = ch.b().recv(ctx);
+    EXPECT_EQ(m, payload);
+    recv_time = ctx.now();
+  });
+  ASSERT_TRUE(exec.run());
+  uint64_t expect = per_byte_x100(cm.net_ns_per_byte_x100, payload.size()) +
+                    cm.net_latency_ns;
+  EXPECT_GE(recv_time, expect);
+  EXPECT_LE(recv_time, expect + 10'000);
+}
+
+TEST(Network, MessagesArriveInOrder) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  std::vector<int> received;
+  exec.spawn("sender", [&](ThreadCtx& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ch.a().send(ctx, Bytes{static_cast<uint8_t>(i)});
+      ctx.work(1'000);
+    }
+  });
+  exec.spawn("receiver", [&](ThreadCtx& ctx) {
+    for (int i = 0; i < 5; ++i) received.push_back(ch.b().recv(ctx)[0]);
+  });
+  ASSERT_TRUE(exec.run());
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Network, SendSizedChargesVirtualBytesWithoutMaterializing) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  uint64_t recv_time = 0;
+  constexpr uint64_t kBulk = 100ull << 20;  // 100 MB, never allocated
+  exec.spawn("sender", [&](ThreadCtx& ctx) {
+    ch.a().send_sized(ctx, to_bytes("descriptor"), kBulk);
+  });
+  exec.spawn("receiver", [&](ThreadCtx& ctx) {
+    Bytes m = ch.b().recv(ctx);
+    EXPECT_EQ(to_string(m), "descriptor");
+    recv_time = ctx.now();
+  });
+  ASSERT_TRUE(exec.run());
+  const CostModel& cm = default_cost_model();
+  EXPECT_GE(recv_time, per_byte_x100(cm.net_ns_per_byte_x100, kBulk));
+  EXPECT_EQ(ch.a_to_b().bytes_sent(), kBulk);
+}
+
+TEST(Network, BidirectionalTraffic) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  exec.spawn("a", [&](ThreadCtx& ctx) {
+    ch.a().send(ctx, to_bytes("ping"));
+    EXPECT_EQ(to_string(ch.a().recv(ctx)), "pong");
+  });
+  exec.spawn("b", [&](ThreadCtx& ctx) {
+    EXPECT_EQ(to_string(ch.b().recv(ctx)), "ping");
+    ch.b().send(ctx, to_bytes("pong"));
+  });
+  ASSERT_TRUE(exec.run());
+  EXPECT_EQ(ch.total_bytes(), 8u);
+}
+
+TEST(Network, TapObservesAndCanTamper) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  int observed = 0;
+  ch.a_to_b().set_tap([&](Bytes& m) {
+    ++observed;
+    if (!m.empty()) m[0] ^= 0xff;  // MITM flips a byte
+  });
+  exec.spawn("a", [&](ThreadCtx& ctx) { ch.a().send(ctx, Bytes{0x01}); });
+  Bytes got;
+  exec.spawn("b", [&](ThreadCtx& ctx) { got = ch.b().recv(ctx); });
+  ASSERT_TRUE(exec.run());
+  EXPECT_EQ(observed, 1);
+  EXPECT_EQ(got[0], 0xfe);
+}
+
+TEST(Network, SeveredLinkDropsTrafficSilently) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  ch.a_to_b().sever();
+  exec.spawn("a", [&](ThreadCtx& ctx) { ch.a().send(ctx, to_bytes("lost")); });
+  bool got_any = false;
+  exec.spawn("b", [&](ThreadCtx& ctx) {
+    ctx.sleep(10'000'000);
+    got_any = ch.b().try_recv(ctx).has_value();
+  });
+  ASSERT_TRUE(exec.run());
+  EXPECT_FALSE(got_any);
+  EXPECT_EQ(ch.a_to_b().messages_sent(), 0u);
+}
+
+TEST(Network, TryRecvRespectsArrivalTime) {
+  Executor exec(2);
+  Channel ch(exec, default_cost_model());
+  exec.spawn("a", [&](ThreadCtx& ctx) { ch.a().send(ctx, to_bytes("x")); });
+  exec.spawn("b", [&](ThreadCtx& ctx) {
+    // At t=0 the message is still in flight.
+    EXPECT_FALSE(ch.b().try_recv(ctx).has_value());
+    ctx.sleep(default_cost_model().net_latency_ns + 1'000);
+    EXPECT_TRUE(ch.b().try_recv(ctx).has_value());
+  });
+  ASSERT_TRUE(exec.run());
+}
+
+}  // namespace
+}  // namespace mig::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace mig {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);
+}
+
+TEST(Bytes, HexDecodeRejectsMalformed) {
+  EXPECT_TRUE(hex_decode("abc").empty());   // odd length
+  EXPECT_TRUE(hex_decode("zz").empty());    // non-hex
+}
+
+TEST(Bytes, ToBytesToString) {
+  Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x0f};
+  Bytes b = {0x0f, 0xf0};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xff}));
+}
+
+TEST(Check, FiresOnFalse) {
+  EXPECT_THROW(MIG_CHECK(1 == 2), CheckFailure);
+  EXPECT_NO_THROW(MIG_CHECK(1 == 1));
+}
+
+TEST(Status, OkAndError) {
+  Status ok = OkStatus();
+  EXPECT_TRUE(ok.ok());
+  Status err = Error(ErrorCode::kIntegrityViolation, "bad MAC");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kIntegrityViolation);
+  EXPECT_EQ(err.to_string(), "INTEGRITY_VIOLATION: bad MAC");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  Result<int> e = Error(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+  EXPECT_THROW(e.value(), CheckFailure);
+}
+
+TEST(Serde, RoundTripAllTypes) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x1122334455667788ULL);
+  w.bytes(to_bytes("payload"));
+  w.str("name");
+  w.raw(Bytes{0xaa, 0xbb});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_EQ(r.raw(2), (Bytes{0xaa, 0xbb}));
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(Serde, TruncatedInputSetsStickyFailure) {
+  Writer w;
+  w.u64(7);
+  Bytes data = w.take();
+  data.resize(4);  // truncate
+  Reader r(data);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // still safe to call
+  EXPECT_FALSE(r.finish().ok());
+}
+
+TEST(Serde, HostileLengthPrefixIsRejected) {
+  Writer w;
+  w.u32(0xffffffffu);  // claims 4 GiB of payload
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_FALSE(r.finish().ok());
+}
+
+}  // namespace
+}  // namespace mig

@@ -35,7 +35,7 @@ uint64_t run_software(uint64_t mb) {
     auto inst = host.detach_instance();
     bed.guest.set_migration_target(*bed.target);
     MIG_CHECK(bed.guest.resume_enclaves_after_migration(ctx).ok());
-    MIG_CHECK(migrator.restore(ctx, host, *bed.source, std::move(inst),
+    MIG_CHECK(migrator.restore(ctx, host, *bed.source, inst,
                                std::move(*blob), opts).ok());
     elapsed = ctx.now() - t0;
   });

@@ -243,4 +243,5 @@ src/CMakeFiles/mig_attacks.dir/attacks/attacks.cc.o: \
  /root/repo/src/sgx/image.h /root/repo/src/sdk/host.h \
  /root/repo/src/sdk/builder.h /root/repo/src/sdk/layout.h \
  /root/repo/src/sdk/program.h /root/repo/src/sdk/control.h \
- /root/repo/src/crypto/aead.h /root/repo/src/sdk/enclave_env.h
+ /root/repo/src/crypto/aead.h /root/repo/src/sdk/enclave_env.h \
+ /root/repo/src/sim/fault.h

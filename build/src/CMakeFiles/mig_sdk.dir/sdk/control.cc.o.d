@@ -240,5 +240,8 @@ src/CMakeFiles/mig_sdk.dir/sdk/control.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/sgx/attestation.h \
  /root/repo/src/sim/network.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/crypto/ciphers.h /root/repo/src/sdk/builder.h \
  /root/repo/src/sgx/image.h /root/repo/src/util/serde.h

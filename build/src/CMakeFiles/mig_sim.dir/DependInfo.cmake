@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/executor.cc" "src/CMakeFiles/mig_sim.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/CMakeFiles/mig_sim.dir/sim/fault.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/fault.cc.o.d"
   "/root/repo/src/sim/network.cc" "src/CMakeFiles/mig_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/network.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mig_sim.dir/sim/executor.cc.o"
   "CMakeFiles/mig_sim.dir/sim/executor.cc.o.d"
+  "CMakeFiles/mig_sim.dir/sim/fault.cc.o"
+  "CMakeFiles/mig_sim.dir/sim/fault.cc.o.d"
   "CMakeFiles/mig_sim.dir/sim/network.cc.o"
   "CMakeFiles/mig_sim.dir/sim/network.cc.o.d"
   "libmig_sim.a"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/attacks_test.cc" "tests/CMakeFiles/mig_tests.dir/attacks_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/attacks_test.cc.o.d"
   "/root/repo/tests/crypto_edge_test.cc" "tests/CMakeFiles/mig_tests.dir/crypto_edge_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/crypto_edge_test.cc.o.d"
   "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/mig_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/mig_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/fault_injection_test.cc.o.d"
   "/root/repo/tests/figures_test.cc" "tests/CMakeFiles/mig_tests.dir/figures_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/figures_test.cc.o.d"
   "/root/repo/tests/guestos_test.cc" "tests/CMakeFiles/mig_tests.dir/guestos_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/guestos_test.cc.o.d"
   "/root/repo/tests/hv_test.cc" "tests/CMakeFiles/mig_tests.dir/hv_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/hv_test.cc.o.d"

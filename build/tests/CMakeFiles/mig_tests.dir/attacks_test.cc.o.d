@@ -320,5 +320,6 @@ tests/CMakeFiles/mig_tests.dir/attacks_test.cc.o: \
  /root/repo/src/hv/vm.h /root/repo/src/sgx/image.h \
  /root/repo/src/sdk/host.h /root/repo/src/sdk/builder.h \
  /root/repo/src/sdk/control.h /root/repo/src/crypto/aead.h \
- /root/repo/src/migration/owner.h /root/repo/src/migration/session.h \
- /root/repo/src/hv/live_migration.h /root/repo/src/util/serde.h
+ /root/repo/src/sim/fault.h /root/repo/src/migration/owner.h \
+ /root/repo/src/migration/session.h /root/repo/src/hv/live_migration.h \
+ /root/repo/src/util/serde.h

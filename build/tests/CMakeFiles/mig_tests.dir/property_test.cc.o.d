@@ -320,5 +320,5 @@ tests/CMakeFiles/mig_tests.dir/property_test.cc.o: \
  /root/repo/src/sdk/program.h /root/repo/src/migration/session.h \
  /root/repo/src/hv/live_migration.h /root/repo/src/sdk/host.h \
  /root/repo/src/sdk/control.h /root/repo/src/crypto/aead.h \
- /root/repo/src/sdk/enclave_env.h /root/repo/src/sim/rng.h \
- /root/repo/src/util/serde.h
+ /root/repo/src/sdk/enclave_env.h /root/repo/src/sim/fault.h \
+ /root/repo/src/sim/rng.h /root/repo/src/util/serde.h

@@ -293,13 +293,14 @@ tests/CMakeFiles/mig_tests.dir/sim_network_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/network.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/cost_model.h /root/repo/src/sim/executor.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/network.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/cost_model.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

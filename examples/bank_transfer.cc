@@ -88,7 +88,7 @@ Scenario run(bool use_two_phase) {
     auto inst = host.detach_instance();
     guest.set_migration_target(target);
     MIG_CHECK(guest.resume_enclaves_after_migration(ctx).ok());
-    MIG_CHECK(migrator.restore(ctx, host, source, std::move(inst),
+    MIG_CHECK(migrator.restore(ctx, host, source, inst,
                                std::move(*blob), {}).ok());
     if (use_two_phase) done.wait(ctx);  // in-flight transfer finishes there
 

@@ -70,7 +70,7 @@ int main() {
     sdk::EnclaveInstance* source_raw = source_inst.get();
     guest.set_migration_target(target);
     MIG_CHECK(guest.resume_enclaves_after_migration(ctx).ok());
-    MIG_CHECK(migrator.restore(ctx, host, source, std::move(source_inst),
+    MIG_CHECK(migrator.restore(ctx, host, source, source_inst,
                                std::move(*blob), opts).ok());
     std::printf("operator: migrated the enclave after op-1 and kept the "
                 "source instance around\n");

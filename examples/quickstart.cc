@@ -112,7 +112,7 @@ int main() {
     auto source_inst = host.detach_instance();
     guest.set_migration_target(target);
     MIG_CHECK(guest.resume_enclaves_after_migration(ctx).ok());
-    MIG_CHECK(migrator.restore(ctx, host, source, std::move(source_inst),
+    MIG_CHECK(migrator.restore(ctx, host, source, source_inst,
                                std::move(*blob), opts).ok());
     std::printf("  done in %.2f ms (virtual time)\n",
                 (ctx.now() - t0) / 1e6);

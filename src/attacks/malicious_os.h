@@ -6,6 +6,7 @@
 
 #include "guestos/guest_os.h"
 #include "sdk/host.h"
+#include "sim/fault.h"
 
 namespace mig::attacks {
 
@@ -40,6 +41,34 @@ class MaliciousGuestOs : public guestos::GuestOs {
 Result<Bytes> naive_checkpoint(sim::ThreadCtx& ctx, guestos::GuestOs& os,
                                guestos::Process& process,
                                sdk::EnclaveHost& host);
+
+// A malicious network operator (§II-D: the cloud provider owns the wire).
+// Wraps sim::FaultPlan as an attacker: cut the migration link at a chosen
+// protocol moment, silently discard frames, or flip ciphertext bits. The
+// paper's protocol must degrade to a clean abort — never to a hang, and
+// never to two live enclaves.
+class NetworkSaboteur {
+ public:
+  // Cuts one direction of `ch` permanently when the nth message crosses it.
+  NetworkSaboteur& cut_after(sim::Channel& ch, bool a_to_b, uint64_t nth) {
+    plan_.sever_at_message(nth);
+    plan_.install(a_to_b ? ch.a_to_b() : ch.b_to_a());
+    return *this;
+  }
+
+  // Flips a bit in the nth message of one direction (corruption attack).
+  NetworkSaboteur& tamper(sim::Channel& ch, bool a_to_b, uint64_t nth,
+                          size_t offset = 0) {
+    plan_.corrupt_message(nth, offset);
+    plan_.install(a_to_b ? ch.a_to_b() : ch.b_to_a());
+    return *this;
+  }
+
+  const sim::FaultPlan& plan() const { return plan_; }
+
+ private:
+  sim::FaultPlan plan_;
+};
 
 // Records every message crossing a pipe (the untrusted network's view) so a
 // replay attacker can resend it later.

@@ -133,6 +133,23 @@ Result<uint64_t> GuestOs::resume_enclaves_after_migration(sim::ThreadCtx& ctx) {
   return ctx.now() - start;
 }
 
+Status GuestOs::cancel_enclave_migration(sim::ThreadCtx& ctx) {
+  ctx.work_atomic(cost().upcall_interrupt_ns);
+  // Migration is off: allow enclave creation again and forget the pending
+  // re-attach (the VM stays on this machine).
+  migration_in_progress_ = false;
+  pending_target_ = nullptr;
+  // Undo every process's prepare. Keep going on failure so one wedged
+  // process cannot keep the others frozen; the first error is reported.
+  Status first = OkStatus();
+  for (auto& proc : processes_) {
+    if (!proc->cancel_) continue;
+    Status st = proc->cancel_(ctx);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
 uint64_t GuestOs::enclave_count() const {
   uint64_t n = 0;
   for (const auto& proc : processes_) n += proc->enclave_count;

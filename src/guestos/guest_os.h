@@ -50,9 +50,14 @@ class Process {
   // and restores this process's enclaves on the target.
   using PrepareFn = std::function<Result<uint64_t>(sim::ThreadCtx&)>;
   using ResumeFn = std::function<Status(sim::ThreadCtx&)>;
-  void register_migration_handlers(PrepareFn prepare, ResumeFn resume) {
+  // The cancel handler undoes a prepare whose migration later aborted:
+  // delete Kmigrate inside each enclave and unfreeze the parked workers.
+  using CancelFn = std::function<Status(sim::ThreadCtx&)>;
+  void register_migration_handlers(PrepareFn prepare, ResumeFn resume,
+                                   CancelFn cancel = nullptr) {
     prepare_ = std::move(prepare);
     resume_ = std::move(resume);
+    cancel_ = std::move(cancel);
   }
   bool has_enclaves() const { return static_cast<bool>(prepare_); }
   size_t enclave_count = 0;  // maintained by the SGX library
@@ -65,6 +70,7 @@ class Process {
   std::vector<sim::ThreadId> threads_;
   PrepareFn prepare_;
   ResumeFn resume_;
+  CancelFn cancel_;
 };
 
 class GuestOs : public hv::GuestHooks {
@@ -99,6 +105,7 @@ class GuestOs : public hv::GuestHooks {
   // ---- hv::GuestHooks (Fig. 8 pipeline) ----
   Result<uint64_t> prepare_enclaves_for_migration(sim::ThreadCtx& ctx) override;
   Result<uint64_t> resume_enclaves_after_migration(sim::ThreadCtx& ctx) override;
+  Status cancel_enclave_migration(sim::ThreadCtx& ctx) override;
   uint64_t enclave_count() const override;
   bool ready_to_stop() override {
     return !stop_gate_ || stop_gate_();

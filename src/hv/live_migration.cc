@@ -1,5 +1,7 @@
 #include "hv/live_migration.h"
 
+#include <optional>
+
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -13,7 +15,7 @@ enum class Tag : uint8_t {
   kStop = 3,       // final stop-and-copy round: u64 pages, u64 record_bytes
   kResumeAck = 4,  // u64 target resume timestamp (ns)
   kRestoreDone = 5,  // u64 enclave restore ns, u64 error flag
-  kAbort = 6,      // source-side failure: the migration is off
+  kAbort = 6,      // peer-side failure: the migration is off
 };
 
 Bytes msg(Tag tag, uint64_t a = 0, uint64_t b = 0) {
@@ -30,17 +32,45 @@ struct Parsed {
   uint64_t b = 0;
 };
 
+// The link is untrusted: a corrupting middlebox can hand us any byte string.
+// Truncated frames, trailing garbage and out-of-range tags are all rejected
+// as kInvalidArgument — never interpreted.
 Result<Parsed> parse(ByteSpan data) {
   Reader r(data);
+  uint8_t tag = r.u8();
   Parsed p;
-  p.tag = static_cast<Tag>(r.u8());
   p.a = r.u64();
   p.b = r.u64();
-  MIG_RETURN_IF_ERROR(r.finish());
+  if (!r.finish().ok() || tag < static_cast<uint8_t>(Tag::kRound) ||
+      tag > static_cast<uint8_t>(Tag::kAbort)) {
+    return Error(ErrorCode::kInvalidArgument, "malformed migration frame");
+  }
+  p.tag = static_cast<Tag>(tag);
   return p;
 }
 
 }  // namespace
+
+uint64_t LiveMigrationEngine::wire_ns(uint64_t bytes) const {
+  return sim::per_byte_x100(cost_->net_ns_per_byte_x100, bytes) +
+         cost_->net_latency_ns;
+}
+
+void LiveMigrationEngine::abort_source(sim::ThreadCtx& ctx, Vm& vm,
+                                       sim::Channel::End& link,
+                                       bool vm_stopped) {
+  // Best effort: a severed link simply drops this.
+  link.send(ctx, msg(Tag::kAbort));
+  if (vm_stopped) {
+    ctx.work_atomic(cost_->vm_stop_resume_ns / 2);  // unpause + device restore
+    vm.set_running(true);
+  }
+  if (vm.hooks() != nullptr) {
+    // The guest keeps running on the source. Cancel failures are secondary
+    // to the abort cause and observable through the enclaves themselves.
+    (void)vm.hooks()->cancel_enclave_migration(ctx);
+  }
+}
 
 Result<MigrationReport> LiveMigrationEngine::migrate_source(
     sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End link) {
@@ -49,22 +79,50 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   uint64_t start = ctx.now();
   uint64_t dirty = vm.used_pages();  // round 0 sends everything in use
 
+  auto recv_parsed = [&](uint64_t deadline_ns) -> Result<Parsed> {
+    std::optional<Bytes> m = link.recv_deadline(ctx, deadline_ns);
+    if (!m.has_value())
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "migration link timed out waiting for the target");
+    return parse(*m);
+  };
+
+  // One pre-copy round with bounded retry. Rounds are idempotent (the target
+  // just applies pages and acks), so a lost round or a lost ack is repaired
+  // by retransmission; anything else fails the round.
+  auto send_round_acked = [&](uint64_t pages, uint64_t extra) -> Status {
+    uint64_t bytes = pages * page + extra;
+    for (uint64_t attempt = 0;; ++attempt) {
+      link.send_sized(ctx, msg(Tag::kRound, pages, extra), bytes);
+      report.transferred_bytes += bytes;
+      Result<Parsed> p =
+          recv_parsed(ctx.now() + 2 * wire_ns(bytes) + params_.ack_grace_ns);
+      if (p.ok()) {
+        if (p->tag == Tag::kRoundAck) return OkStatus();
+        if (p->tag == Tag::kAbort)
+          return Error(ErrorCode::kAborted, "target aborted the migration");
+        return Error(ErrorCode::kInternal, "migration protocol desync");
+      }
+      if (p.status().code() != ErrorCode::kDeadlineExceeded ||
+          attempt >= params_.max_ack_retries) {
+        return p.status();
+      }
+      ctx.sleep(params_.retry_backoff_ns << attempt);
+    }
+  };
+
   // --- iterative pre-copy while the VM runs ---
   for (uint64_t round = 0; round < params_.max_rounds; ++round) {
     if (dirty <= params_.stop_copy_threshold_pages) break;
     uint64_t round_start = ctx.now();
     // Dirty-bitmap scan + queueing.
     ctx.work_atomic(cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
-    uint64_t bytes = dirty * page;
-    link.send_sized(ctx, msg(Tag::kRound, dirty, 0), bytes);
-    report.transferred_bytes += bytes;
-    // Backpressure: wait for the target to drain the round.
-    Bytes ack = link.recv(ctx);
-    MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
-    if (p.tag != Tag::kRoundAck)
-      return Error(ErrorCode::kInternal, "migration protocol desync");
-    uint64_t round_ns = ctx.now() - round_start;
-    dirty = vm.pages_dirtied_over(round_ns);
+    Status st = send_round_acked(dirty, 0);
+    if (!st.ok()) {
+      abort_source(ctx, vm, link, /*vm_stopped=*/false);
+      return st;
+    }
+    dirty = vm.pages_dirtied_over(ctx.now() - round_start);
     report.rounds += 1;
   }
 
@@ -75,7 +133,9 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     uint64_t prep_start = ctx.now();
     Result<uint64_t> prep = vm.hooks()->prepare_enclaves_for_migration(ctx);
     if (!prep.ok()) {
-      link.send(ctx, msg(Tag::kAbort));
+      // Partial prepares (some enclaves froze before one refused) are undone
+      // by the cancel hook inside abort_source.
+      abort_source(ctx, vm, link, /*vm_stopped=*/false);
       return prep.status();
     }
     uint64_t extra = *prep;
@@ -95,25 +155,25 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     uint64_t pending_extra = checkpoint_bytes;
     for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
          ++extra_rounds) {
-      if (dirty <= params_.stop_copy_threshold_pages &&
+      // The checkpoints must reach the target while the VM still runs (they
+      // live in ordinary guest memory); never stop with them unsent.
+      if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0 &&
           vm.hooks()->ready_to_stop()) {
         break;
       }
-      if (dirty <= params_.stop_copy_threshold_pages) {
+      if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0) {
         // Converged but not ready: idle in pre-copy a little longer.
         ctx.sleep(5'000'000);
         dirty += vm.pages_dirtied_over(5'000'000);
         continue;
       }
       uint64_t round_start = ctx.now();
-      uint64_t bytes = dirty * page + pending_extra;
-      link.send_sized(ctx, msg(Tag::kRound, dirty, pending_extra), bytes);
+      Status st = send_round_acked(dirty, pending_extra);
+      if (!st.ok()) {
+        abort_source(ctx, vm, link, /*vm_stopped=*/false);
+        return st;
+      }
       pending_extra = 0;
-      report.transferred_bytes += bytes;
-      Bytes ack = link.recv(ctx);
-      MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
-      if (p.tag != Tag::kRoundAck)
-        return Error(ErrorCode::kInternal, "migration protocol desync");
       dirty = vm.pages_dirtied_over(ctx.now() - round_start);
       report.rounds += 1;
     }
@@ -127,21 +187,48 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   link.send_sized(ctx, msg(Tag::kStop, dirty, record_bytes), final_bytes);
   report.transferred_bytes += final_bytes;
 
-  Bytes ack = link.recv(ctx);
-  MIG_ASSIGN_OR_RETURN(Parsed p, parse(ack));
-  if (p.tag != Tag::kResumeAck)
+  Result<Parsed> p = Error(ErrorCode::kInternal, "unset");
+  for (;;) {
+    p = recv_parsed(ctx.now() + 2 * wire_ns(final_bytes) +
+                    params_.ack_grace_ns);
+    // A retransmitted round earns a duplicate ack; drain stale kRoundAcks
+    // rather than mistaking them for a protocol violation.
+    if (p.ok() && p->tag == Tag::kRoundAck) continue;
+    break;
+  }
+  if (!p.ok() ||
+      (p->tag != Tag::kResumeAck && p->tag != Tag::kRestoreDone)) {
+    // No resume ack: roll back — resume the VM here, cancel the enclave
+    // migration. If the target actually resumed and only its ack was lost,
+    // the Kmigrate commit point still guarantees at most one live enclave:
+    // the cancel below races the key handshake through the control-thread
+    // mailbox, and whichever wins decides the survivor.
+    abort_source(ctx, vm, link, /*vm_stopped=*/true);
+    if (!p.ok()) return p.status();
+    if (p->tag == Tag::kAbort)
+      return Error(ErrorCode::kAborted, "target aborted the migration");
     return Error(ErrorCode::kInternal, "no resume ack");
-  report.downtime_ns = p.a - stop_time;
+  }
+  if (p->tag == Tag::kResumeAck) report.downtime_ns = p->a - stop_time;
+  // else: the resume ack itself was lost, but a kRestoreDone arriving in its
+  // place proves the target resumed and finished restoring — the migration
+  // committed; do not roll back a VM that is live elsewhere. (Downtime is
+  // unknowable from this side then and stays 0.)
 
-  // Wait for the guest-side enclave restore report (Fig. 10(a)).
+  // Wait for the guest-side enclave restore report (Fig. 10(a)). Past the
+  // resume ack the VM belongs to the target, so there is no rollback here:
+  // failures surface as status and the per-enclave commit point (was
+  // Kmigrate delivered?) decides each enclave's fate.
   if (vm.hooks() != nullptr) {
-    Bytes done = link.recv(ctx);
-    MIG_ASSIGN_OR_RETURN(Parsed d, parse(done));
-    if (d.tag != Tag::kRestoreDone)
+    Result<Parsed> d = p->tag == Tag::kRestoreDone
+                           ? p
+                           : recv_parsed(ctx.now() + params_.restore_timeout_ns);
+    if (!d.ok()) return d.status();
+    if (d->tag != Tag::kRestoreDone)
       return Error(ErrorCode::kInternal, "no restore report");
-    if (d.b != 0)
+    if (d->b != 0)
       return Error(ErrorCode::kAborted, "enclave restore failed on target");
-    report.enclave_restore_ns = d.a;
+    report.enclave_restore_ns = d->a;
   }
   report.total_ns = ctx.now() - start;
   report.success = true;
@@ -153,18 +240,32 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
   MigrationReport report;
   uint64_t start = ctx.now();
   for (;;) {
-    Bytes m = link.recv(ctx);
-    MIG_ASSIGN_OR_RETURN(Parsed p, parse(m));
-    if (p.tag == Tag::kRound) {
+    std::optional<Bytes> m =
+        link.recv_deadline(ctx, ctx.now() + params_.target_recv_timeout_ns);
+    if (!m.has_value()) {
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "migration link went quiet; target aborting");
+    }
+    Result<Parsed> p = parse(*m);
+    if (!p.ok()) {
+      // Corrupted/truncated frame from the (untrusted) link: tell the source
+      // best-effort and bail out before touching any VM state.
+      link.send(ctx, msg(Tag::kAbort));
+      return p.status();
+    }
+    if (p->tag == Tag::kRound) {
       // Applying pages into guest RAM: modeled inside the link throughput
       // (the effective rate already includes both ends' page processing).
+      // Retransmitted rounds are simply applied and acked again.
       link.send(ctx, msg(Tag::kRoundAck));
       continue;
     }
-    if (p.tag == Tag::kAbort)
+    if (p->tag == Tag::kAbort)
       return Error(ErrorCode::kAborted, "source aborted the migration");
-    if (p.tag != Tag::kStop)
-      return Error(ErrorCode::kInternal, "unexpected migration message");
+    if (p->tag != Tag::kStop) {
+      link.send(ctx, msg(Tag::kAbort));
+      return Error(ErrorCode::kInvalidArgument, "unexpected migration message");
+    }
     // Apply final pages + device state, then resume the VM.
     ctx.work_atomic(cost_->vm_stop_resume_ns / 2);
     vm.set_running(true);

@@ -23,6 +23,22 @@ namespace mig::hv {
 struct MigrationParams {
   uint64_t max_rounds = 30;
   uint64_t stop_copy_threshold_pages = 150;  // ~600 KB => single-digit-ms downtime
+
+  // ---- failure handling (all virtual time) ----
+  // The ack deadline for a round of B bytes is 2x its wire time plus this
+  // grace, so detection latency scales with what was actually sent.
+  uint64_t ack_grace_ns = 1'000'000'000;  // 1 s
+  // Pre-copy rounds are idempotent: on an ack timeout the source retransmits
+  // the same round up to this many times, backing off between attempts.
+  uint64_t max_ack_retries = 2;
+  uint64_t retry_backoff_ns = 200'000'000;  // doubles per attempt
+  // Target side: maximum quiet gap between protocol messages. Must exceed
+  // the longest round transmission (round 0 of a 2 GB guest is ~28 s at the
+  // modeled 33 MB/s) plus source-side prepare work.
+  uint64_t target_recv_timeout_ns = 60'000'000'000;  // 60 s
+  // Source side: how long to wait for the target's enclave-restore report
+  // (covers rebuild + WAN attestation + CSSA pumping for many enclaves).
+  uint64_t restore_timeout_ns = 120'000'000'000;  // 120 s
 };
 
 struct MigrationReport {
@@ -56,6 +72,17 @@ class LiveMigrationEngine {
                                          sim::Channel::End link);
 
  private:
+  // One-way wire time of a burst: transmission at the modeled link rate plus
+  // propagation. Ack deadlines derive from this so failure detection scales
+  // with the burst actually sent.
+  uint64_t wire_ns(uint64_t bytes) const;
+
+  // Best-effort cleanup when the source half fails before the VM has
+  // committed to the target: notify the target, resume the VM if stopped,
+  // and let the guest cancel its enclave-migration state (§V-B).
+  void abort_source(sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End& link,
+                    bool vm_stopped);
+
   const sim::CostModel* cost_;
   MigrationParams params_;
 };

@@ -7,6 +7,7 @@
 // by a Channel.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,7 +56,17 @@ class World {
 
   // A LAN channel between two machines (the migration link).
   std::unique_ptr<sim::Channel> make_channel() {
-    return std::make_unique<sim::Channel>(exec_, *cost_);
+    auto ch = std::make_unique<sim::Channel>(exec_, *cost_);
+    if (channel_interceptor_) channel_interceptor_(*ch);
+    return ch;
+  }
+
+  // Test seam: invoked on every channel the world creates from now on, so
+  // fault plans can reach links made deep inside the stack (e.g. the key
+  // handshake channel the migration session opens internally).
+  using ChannelInterceptor = std::function<void(sim::Channel&)>;
+  void set_channel_interceptor(ChannelInterceptor fn) {
+    channel_interceptor_ = std::move(fn);
   }
 
   sim::Executor& executor() { return exec_; }
@@ -71,6 +82,7 @@ class World {
   crypto::Drbg rng_;
   sgx::AttestationService ias_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  ChannelInterceptor channel_interceptor_;
 };
 
 }  // namespace mig::hv

@@ -38,6 +38,16 @@ class GuestHooks {
 
   virtual uint64_t enclave_count() const = 0;
 
+  // Source side, when the migration aborts BEFORE the VM commits to the
+  // target (link failure, exhausted retries): undo the prepare side effects —
+  // delete Kmigrate via kCancelMigration, unfreeze parked workers — so the
+  // guest keeps running as if the migration never happened (§V-B "migration
+  // cancelled"). Default: nothing to undo.
+  virtual Status cancel_enclave_migration(sim::ThreadCtx& ctx) {
+    (void)ctx;
+    return OkStatus();
+  }
+
   // The engine keeps the VM in pre-copy until this returns true (e.g. agent
   // key pre-delivery still in flight, §VI-D). Default: always ready.
   virtual bool ready_to_stop() { return true; }

@@ -51,11 +51,19 @@ Status EnclaveMigrator::deliver_key_to_agent(
 
 Status EnclaveMigrator::restore(
     sim::ThreadCtx& ctx, sdk::EnclaveHost& host, hv::Machine& source_machine,
-    std::unique_ptr<sdk::EnclaveInstance> source_instance, Bytes checkpoint,
+    std::unique_ptr<sdk::EnclaveInstance>& source_instance, Bytes checkpoint,
     const EnclaveMigrateOptions& opts) {
+  // Without an agent the key can only come from the source enclave itself;
+  // if a concurrent abort already disposed of it, there is nothing to do.
+  if (opts.agent == nullptr && source_instance == nullptr)
+    return Error(ErrorCode::kAborted, "source enclave is gone");
   // Step-1: virgin enclave from the same image, on the guest's current
   // (target) machine.
   MIG_RETURN_IF_ERROR(host.create(ctx));
+  // create() slept in the driver; re-check (a source-side cancel may have
+  // raced us and taken the instance).
+  if (opts.agent == nullptr && source_instance == nullptr)
+    return Error(ErrorCode::kAborted, "source enclave is gone");
 
   sdk::ControlCmd restore_cmd;
   restore_cmd.type = sdk::ControlCmd::Type::kRestore;
@@ -188,7 +196,8 @@ void VmMigrationSession::manage(sdk::EnclaveHost& host) {
   if (inserted) {
     proc->register_migration_handlers(
         [this, proc](sim::ThreadCtx& c) { return prepare_process(c, proc); },
-        [this, proc](sim::ThreadCtx& c) { return resume_process(c, proc); });
+        [this, proc](sim::ThreadCtx& c) { return resume_process(c, proc); },
+        [this, proc](sim::ThreadCtx& c) { return cancel_process(c, proc); });
   }
 }
 
@@ -236,13 +245,126 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
   for (ManagedEnclave& m : managed_[p]) {
     if (m.key_delivered != nullptr) {
       m.key_delivered->wait(ctx);
-      MIG_RETURN_IF_ERROR(m.delivery_status);
+      if (!m.delivery_status.ok()) {
+        cleanup_failed_restore(ctx, m);
+        return m.delivery_status;
+      }
     }
-    MIG_RETURN_IF_ERROR(migrator_.restore(ctx, *m.host, *source_,
-                                          std::move(m.source_instance),
-                                          std::move(m.checkpoint), opts));
+    if (m.fate == ManagedEnclave::Fate::kCancelled) {
+      // The source rolled back before we got here (the cancel path already
+      // re-attached its instance); this restore must not run.
+      return Error(ErrorCode::kAborted, "migration cancelled on the source");
+    }
+    if (m.fate == ManagedEnclave::Fate::kCommitted) {
+      // The cancel path already saw the key served and disposed of this
+      // side's instances; too late to restore.
+      return Error(ErrorCode::kAborted,
+                   "enclave disposed after source self-destroyed");
+    }
+    m.restore_started = true;
+    Status st = migrator_.restore(ctx, *m.host, *source_, m.source_instance,
+                                  std::move(m.checkpoint), opts);
+    if (!st.ok()) {
+      cleanup_failed_restore(ctx, m);
+      return st;
+    }
+    m.fate = ManagedEnclave::Fate::kCommitted;
   }
   return OkStatus();
+}
+
+void VmMigrationSession::cleanup_failed_restore(sim::ThreadCtx& ctx,
+                                                ManagedEnclave& m) {
+  sdk::EnclaveHost& host = *m.host;
+  if (m.fate == ManagedEnclave::Fate::kCancelled) {
+    // The source cancelled before the key was served: its enclave is intact
+    // (Kmigrate deleted, global flag cleared) — re-attach it so the parked
+    // workers continue where they left off.
+    if (m.source_instance != nullptr) {
+      // Restore may have bound a virgin target instance; it holds no state.
+      if (host.instance() != nullptr) (void)host.destroy(ctx);
+      host.adopt_instance(std::move(m.source_instance));
+    }
+    // else the cancel path already re-attached the source instance.
+    host.finish_migration(ctx, {});
+    return;
+  }
+  // No rollback available: either the key was served (source self-destroyed)
+  // or the VM has committed to the target and a headless source enclave is
+  // useless. Tear down whatever this restore left behind; pending ecalls
+  // fail with kAborted rather than waiting forever.
+  if (host.instance() != nullptr) (void)host.destroy(ctx);
+  if (m.source_instance != nullptr) {
+    (void)host.destroy_detached(ctx, *source_, std::move(m.source_instance));
+  }
+  host.mark_instance_lost();
+  host.finish_migration(ctx, {});
+}
+
+Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
+                                          guestos::Process* p) {
+  Status first = OkStatus();
+  for (ManagedEnclave& m : managed_[p]) {
+    if (m.fate != ManagedEnclave::Fate::kPending) continue;
+    // An agent delivery in flight holds the source mailbox and channel; let
+    // it settle before deciding this enclave's fate.
+    if (m.key_delivered != nullptr) m.key_delivered->wait(ctx);
+    sdk::EnclaveHost& host = *m.host;
+    bool detached = m.source_instance != nullptr;
+    sdk::ControlMailbox* mailbox = nullptr;
+    if (detached) {
+      mailbox = m.source_instance->mailbox.get();
+    } else if (host.instance() != nullptr) {
+      // Prepare failed before this enclave was detached (or never ran).
+      mailbox = &host.mailbox();
+    }
+    if (mailbox == nullptr) {
+      host.finish_migration(ctx, {});
+      continue;
+    }
+    // The mailbox serializes this against a concurrent kServeKey — whichever
+    // gets in first decides whether the source or the target survives.
+    sdk::ControlCmd cancel;
+    cancel.type = sdk::ControlCmd::Type::kCancelMigration;
+    Status st = mailbox->post(ctx, cancel).status;
+    if (st.ok()) {
+      // Kmigrate deleted before it was served: the source enclave survives
+      // and any checkpoint already shipped is ciphertext without a key.
+      m.fate = ManagedEnclave::Fate::kCancelled;
+      m.checkpoint.clear();
+      if (detached && host.instance() == nullptr && !m.restore_started) {
+        host.adopt_instance(std::move(m.source_instance));
+        host.finish_migration(ctx, {});
+      } else if (!detached) {
+        // Never detached (the fault struck before or during prepare): the
+        // instance is still attached, but workers may already be parked.
+        host.finish_migration(ctx, {});
+      }
+      // else: a restore is mid-flight; its key handshake will be refused
+      // (the key is gone) and its failure path re-attaches the source
+      // (cleanup_failed_restore).
+      continue;
+    }
+    if (st.code() == ErrorCode::kAborted) {
+      // Kmigrate already served: the source self-destroyed and the target
+      // owns the enclave now (or will, if its restore is still running).
+      m.fate = ManagedEnclave::Fate::kCommitted;
+      if (host.instance() == nullptr && !m.restore_started) {
+        // No target instance bound and no restore in flight — nothing usable
+        // remains on this side. Reclaim the dead source EPC and fail pending
+        // ecalls. (A restore in flight owns this cleanup instead.)
+        if (m.source_instance != nullptr) {
+          (void)host.destroy_detached(ctx, *source_,
+                                      std::move(m.source_instance));
+        }
+        host.mark_instance_lost();
+        host.finish_migration(ctx, {});
+      }
+      continue;
+    }
+    if (first.ok()) first = st;
+  }
+  return first;
 }
 
 Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
@@ -291,14 +413,18 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
   Result<hv::MigrationReport> report =
       engine.migrate_source(ctx, *vm_, channel->a());
   target_out.done.wait(ctx);
+  target_report_ = target_out.report;
+  Status agent_teardown = OkStatus();
+  if (agent_ != nullptr) {
+    // Agents "can be destroyed after the VM resuming" — and after a failed
+    // run they must not outlive the session either.
+    agent_teardown = agent_->destroy(ctx);
+    agent_.reset();
+  }
   // The source-side error is the root cause; the target's abort is derived.
   MIG_RETURN_IF_ERROR(report.status());
   MIG_RETURN_IF_ERROR(target_out.report.status());
-  if (agent_ != nullptr) {
-    // Agents "can be destroyed after the VM resuming".
-    MIG_RETURN_IF_ERROR(agent_->destroy(ctx));
-    agent_.reset();
-  }
+  MIG_RETURN_IF_ERROR(agent_teardown);
   return report;
 }
 

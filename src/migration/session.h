@@ -53,10 +53,12 @@ class EnclaveMigrator {
   // Target half: create the virgin enclave on the guest's current machine,
   // run the key handshake against `source_instance`'s control thread (or the
   // agent), restore, pump CSSA, verify, release workers, and tear down the
-  // source instance (after its self-destroy).
+  // source instance (after its self-destroy). `source_instance` is an in-out
+  // reference: it is only consumed on success — on failure it stays with the
+  // caller, whose abort path decides whether to re-adopt or destroy it.
   Status restore(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
                  hv::Machine& source_machine,
-                 std::unique_ptr<sdk::EnclaveInstance> source_instance,
+                 std::unique_ptr<sdk::EnclaveInstance>& source_instance,
                  Bytes checkpoint, const EnclaveMigrateOptions& opts);
 
   // Pre-delivers Kmigrate from the (already prepared) source enclave to an
@@ -116,9 +118,22 @@ class VmMigrationSession {
   // QEMU source/target threads internally and blocks (in virtual time).
   Result<hv::MigrationReport> run(sim::ThreadCtx& ctx);
 
+  // The target engine's view of the last run (useful after a failed run to
+  // see how the target side died).
+  const Result<hv::MigrationReport>& target_report() const {
+    return target_report_;
+  }
+
  private:
+  struct ManagedEnclave;
+
   Result<uint64_t> prepare_process(sim::ThreadCtx& ctx, guestos::Process* p);
   Status resume_process(sim::ThreadCtx& ctx, guestos::Process* p);
+  // Abort-path undo (invoked via GuestOs::cancel_enclave_migration): decide
+  // each enclave's fate through its control thread and either re-attach the
+  // source instance or tear down a committed one.
+  Status cancel_process(sim::ThreadCtx& ctx, guestos::Process* p);
+  void cleanup_failed_restore(sim::ThreadCtx& ctx, ManagedEnclave& m);
 
   hv::World* world_;
   hv::Vm* vm_;
@@ -136,9 +151,19 @@ class VmMigrationSession {
     // (that is the whole point of §VI-D); restore waits on this.
     std::unique_ptr<sim::Event> key_delivered;
     Status delivery_status = OkStatus();
+    // Where the enclave ends up when source-abort and target-restore race.
+    // The real arbiter is the control-thread mailbox (kCancelMigration vs
+    // kServeKey); this mirrors its verdict for the session's cleanup paths.
+    enum class Fate { kPending, kCancelled, kCommitted };
+    Fate fate = Fate::kPending;
+    // True once resume_process has handed this enclave to restore(); the
+    // cancel path then leaves instance cleanup to restore's failure path.
+    bool restore_started = false;
   };
   std::map<guestos::Process*, std::vector<ManagedEnclave>> managed_;
   std::unique_ptr<AgentEnclave> agent_;
+  Result<hv::MigrationReport> target_report_ =
+      Error(ErrorCode::kUnavailable, "target never ran");
 };
 
 }  // namespace mig::migration

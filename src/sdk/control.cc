@@ -1,5 +1,7 @@
 #include "sdk/control.h"
 
+#include <algorithm>
+
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
@@ -334,7 +336,23 @@ class ControlEngine {
       cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
       return fail(ErrorCode::kAborted, "key already served once");
     }
-    Bytes request = cmd.channel->recv(env_->ctx());
+    // A cancelled (or never-prepared) migration leaves Kmigrate zeroed; a
+    // zeroed key must never be served — the checkpoint it sealed is dead and
+    // self-destroying here would kill the one live copy of the enclave.
+    Bytes armed = env_->read_bytes(kOffKmigrate, 32);
+    if (std::all_of(armed.begin(), armed.end(),
+                    [](uint8_t b) { return b == 0; })) {
+      cmd.channel->send(env_->ctx(), to_bytes("REFUSE"));
+      return fail(ErrorCode::kFailedPrecondition, "no migration key armed");
+    }
+    std::optional<Bytes> req_in =
+        cmd.channel->recv_timeout(env_->ctx(), cmd.channel_timeout_ns);
+    if (!req_in.has_value()) {
+      // The requester never showed up. Keep the key: the migration manager
+      // decides next (retry kServeKey, or kCancelMigration to roll back).
+      return fail(ErrorCode::kDeadlineExceeded, "no key request arrived");
+    }
+    Bytes request = std::move(*req_in);
     Reader r(request);
     std::string tag = r.str();
     Bytes dh_pub_t = r.bytes();
@@ -434,7 +452,7 @@ class ControlEngine {
       // §VI-D agent optimization: fetch Kmigrate by local attestation.
       kmigrate = key_from_agent(*cmd.agent);
     } else if (cmd.channel.has_value()) {
-      kmigrate = key_from_source(*cmd.channel);
+      kmigrate = key_from_source(*cmd.channel, cmd.channel_timeout_ns);
     }
     if (!kmigrate.ok())
       return fail(kmigrate.status().code(), kmigrate.status().message());
@@ -478,7 +496,7 @@ class ControlEngine {
     return reply;
   }
 
-  Result<Bytes> key_from_source(sim::Channel::End& ch,
+  Result<Bytes> key_from_source(sim::Channel::End& ch, uint64_t timeout_ns,
                                 bool check_source_mre = true,
                                 crypto::Digest* source_mre_out = nullptr) {
     env_->work(env_->cost().dh_keygen_ns);
@@ -495,7 +513,11 @@ class ControlEngine {
     req.bytes(quote.serialize());
     ch.send(env_->ctx(), req.take());
 
-    Bytes reply = ch.recv(env_->ctx());
+    std::optional<Bytes> reply_in = ch.recv_timeout(env_->ctx(), timeout_ns);
+    if (!reply_in.has_value())
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "source never answered the key request");
+    Bytes reply = std::move(*reply_in);
     Reader r(reply);
     std::string tag = r.str();
     if (tag == "REFUSE")
@@ -590,8 +612,8 @@ class ControlEngine {
   }
 
   // ---- owner-keyed checkpoint/resume (§V-C) -----------------------------------
-  Result<Bytes> owner_key_exchange(sim::Channel::End& ch,
-                                   std::string_view verb) {
+  Result<Bytes> owner_key_exchange(sim::Channel::End& ch, std::string_view verb,
+                                   uint64_t timeout_ns) {
     env_->work(env_->cost().dh_keygen_ns);
     crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
     Bytes dh_pub = kp.pub.to_bytes_padded(128);
@@ -606,7 +628,10 @@ class ControlEngine {
     req.bytes(quote.serialize());
     wan_round_trip();
     ch.send(env_->ctx(), req.take());
-    Bytes reply = ch.recv(env_->ctx());
+    std::optional<Bytes> reply_in = ch.recv_timeout(env_->ctx(), timeout_ns);
+    if (!reply_in.has_value())
+      return Error(ErrorCode::kDeadlineExceeded, "owner never answered");
+    Bytes reply = std::move(*reply_in);
     Reader r(reply);
     std::string tag = r.str();
     Bytes dh_pub_o = r.bytes();
@@ -627,7 +652,8 @@ class ControlEngine {
       return fail(ErrorCode::kInvalidArgument, "no owner channel");
     if (self_destroyed())
       return fail(ErrorCode::kAborted, "enclave has self-destroyed");
-    auto kencrypt = owner_key_exchange(*cmd.channel, "CKPT");
+    auto kencrypt =
+        owner_key_exchange(*cmd.channel, "CKPT", cmd.channel_timeout_ns);
     if (!kencrypt.ok()) return fail(kencrypt.status().code(),
                                     kencrypt.status().message());
     reach_quiescent_point();
@@ -644,7 +670,8 @@ class ControlEngine {
   ControlReply owner_restore(ControlCmd& cmd) {
     if (!cmd.channel.has_value())
       return fail(ErrorCode::kInvalidArgument, "no owner channel");
-    auto kencrypt = owner_key_exchange(*cmd.channel, "RESTORE");
+    auto kencrypt =
+        owner_key_exchange(*cmd.channel, "RESTORE", cmd.channel_timeout_ns);
     if (!kencrypt.ok()) return fail(kencrypt.status().code(),
                                     kencrypt.status().message());
     return restore_with_key(cmd, *kencrypt);
@@ -657,8 +684,8 @@ class ControlEngine {
     if (!cmd.channel.has_value())
       return fail(ErrorCode::kInvalidArgument, "no channel");
     crypto::Digest src_mre{};
-    auto key = key_from_source(*cmd.channel, /*check_source_mre=*/false,
-                               &src_mre);
+    auto key = key_from_source(*cmd.channel, cmd.channel_timeout_ns,
+                               /*check_source_mre=*/false, &src_mre);
     if (!key.ok()) return fail(key.status().code(), key.status().message());
     if (key->size() != 32)
       return fail(ErrorCode::kInvalidArgument, "bad key size");
@@ -725,7 +752,8 @@ class ControlEngine {
   ControlReply provision(ControlCmd& cmd) {
     if (!cmd.channel.has_value())
       return fail(ErrorCode::kInvalidArgument, "no owner channel");
-    auto prov_key = owner_key_exchange(*cmd.channel, "PROVISION");
+    auto prov_key =
+        owner_key_exchange(*cmd.channel, "PROVISION", cmd.channel_timeout_ns);
     if (!prov_key.ok()) return fail(prov_key.status().code(),
                                     prov_key.status().message());
     // Decrypt the embedded identity private key and validate it against the

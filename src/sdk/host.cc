@@ -173,6 +173,7 @@ Status EnclaveHost::create(sim::ThreadCtx& ctx) {
   inst->deps->ias = ias_;
   inst->deps->rng = rng_.fork(to_bytes("enclave-rdrand"));
   instance_ = std::move(inst);
+  instance_lost_ = false;
   return spawn_control_thread(ctx);
 }
 
@@ -304,6 +305,11 @@ Result<Bytes> EnclaveHost::dispatch_loop(sim::ThreadCtx& ctx,
     }
     EnclaveInstance* inst = instance_.get();
     if (inst == nullptr) {
+      if (instance_lost_) {
+        // Self-destroyed after serving Kmigrate and the target never came
+        // up here: this in-flight call can never complete.
+        return Error(ErrorCode::kAborted, "enclave self-destroyed; instance lost");
+      }
       // Between detach and re-create: behave like parked.
       ctx.sleep(10'000);
       continue;

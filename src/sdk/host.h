@@ -75,16 +75,28 @@ class EnclaveHost {
   guestos::GuestOs& os() { return *os_; }
 
   // Marks workers "parked": in-flight ecalls wait for finish_migration().
-  void begin_parking() { parked_ = true; }
+  // The done event is re-armed here so a second migration of the same
+  // enclave parks correctly (it stays set after the first one finishes).
+  void begin_parking() {
+    parked_ = true;
+    migration_done_->reset();
+  }
   // Detaches the source instance (caller keeps it alive for the key
   // handshake + self-destroy) so create() can bind a target instance.
   std::unique_ptr<EnclaveInstance> detach_instance();
   // Re-binds an instance (attack simulation: the operator "resumes" the
-  // source enclave after migration — which self-destroy defeats).
+  // source enclave after migration — which self-destroy defeats; also the
+  // rollback path when a migration is cancelled before the key was served).
   void adopt_instance(std::unique_ptr<EnclaveInstance> inst) {
     MIG_CHECK(instance_ == nullptr);
     instance_ = std::move(inst);
+    instance_lost_ = false;
   }
+  // Records that this host's enclave is gone for good (self-destroyed after
+  // serving Kmigrate, with no target instance to adopt). Pending and future
+  // ecalls fail with kAborted instead of waiting for an instance forever.
+  void mark_instance_lost() { instance_lost_ = true; }
+  bool instance_lost() const { return instance_lost_; }
   // Tears down a detached source instance (kShutdown + EREMOVE).
   Status destroy_detached(sim::ThreadCtx& ctx, hv::Machine& machine,
                           std::unique_ptr<EnclaveInstance> inst);
@@ -122,6 +134,7 @@ class EnclaveHost {
   std::unique_ptr<EnclaveInstance> instance_;
   std::vector<HostThread> workers_;
   bool parked_ = false;
+  bool instance_lost_ = false;
   bool migration_support_ = true;
   std::unique_ptr<sim::Event> migration_done_;
   EnclaveEnv::OcallTable ocalls_;

@@ -33,6 +33,11 @@ void Event::wait(ThreadCtx& ctx) {
   executor_->thread_wait_event(executor_->get(ctx.id()), *this);
 }
 
+bool Event::wait_until(ThreadCtx& ctx, uint64_t deadline_ns) {
+  return executor_->thread_wait_event_until(executor_->get(ctx.id()), *this,
+                                            deadline_ns);
+}
+
 void Event::set(ThreadCtx& ctx) {
   executor_->event_set(&executor_->get(ctx.id()), *this);
 }
@@ -111,8 +116,17 @@ bool Executor::step_locked(std::unique_lock<std::mutex>& lock) {
   SimThread* best = nullptr;
   uint64_t best_start = std::numeric_limits<uint64_t>::max();
   for (const auto& t : threads_) {
-    if (t->state != State::kRunnable) continue;
-    uint64_t start = std::max(t->ready_at, cpu_earliest);
+    uint64_t earliest;
+    if (t->state == State::kRunnable) {
+      earliest = t->ready_at;
+    } else if (t->state == State::kWaiting && t->wait_deadline != kNoDeadline) {
+      // A timed event wait: schedulable at its deadline even if the event
+      // never fires (the thread detects the timeout itself on wake).
+      earliest = t->wait_deadline;
+    } else {
+      continue;
+    }
+    uint64_t start = std::max(earliest, cpu_earliest);
     // Earliest start wins; ties go to the least-recently-scheduled thread so
     // no runnable thread starves (round-robin among equals). Both criteria
     // are deterministic.
@@ -341,6 +355,31 @@ void Executor::thread_wait_event(SimThread& t, Event& ev) {
   t.cpu_release = t.vtime;
   reschedule_locked(lock, t);
   // Woken: clock joining happened in event_set via ready_at.
+}
+
+bool Executor::thread_wait_event_until(SimThread& t, Event& ev,
+                                       uint64_t deadline_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_kill(t);
+  if (ev.set_) {
+    t.vtime = std::max(t.vtime, ev.set_time_);
+    return true;
+  }
+  if (deadline_ns <= t.vtime) return false;
+  ev.waiters_.push_back(t.id);
+  t.state = State::kWaiting;
+  t.cpu_release = t.vtime;
+  t.wait_deadline = deadline_ns;
+  reschedule_locked(lock, t);
+  t.wait_deadline = kNoDeadline;
+  // Disambiguate the wake cause: event_set() clears the waiter list, so if we
+  // are still on it, the scheduler woke us at the deadline.
+  auto it = std::find(ev.waiters_.begin(), ev.waiters_.end(), t.id);
+  if (it == ev.waiters_.end()) return true;
+  ev.waiters_.erase(it);
+  t.vtime = std::max(t.vtime, deadline_ns);
+  t.ready_at = t.vtime;
+  return false;
 }
 
 void Executor::event_set(SimThread* setter, Event& ev) {

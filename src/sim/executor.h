@@ -118,6 +118,12 @@ class Event {
   // already set, returns immediately (after joining clocks).
   void wait(ThreadCtx& ctx);
 
+  // Like wait(), but gives up at virtual time `deadline_ns`. Returns true if
+  // the event was set (clocks joined as in wait()); false on timeout, with
+  // the caller's clock advanced to the deadline. A deadline at or before the
+  // caller's clock checks the event without blocking.
+  bool wait_until(ThreadCtx& ctx, uint64_t deadline_ns);
+
   // Sets the event and wakes all current waiters. `ctx` provides the signal
   // time. May be called multiple times; later waits return immediately.
   void set(ThreadCtx& ctx);
@@ -205,6 +211,9 @@ class Executor {
     kFinished,
   };
 
+  // Sentinel for "no deadline" on a waiting thread.
+  static constexpr uint64_t kNoDeadline = ~0ull;
+
   struct SimThread {
     ThreadId id;
     std::string name;
@@ -214,6 +223,9 @@ class Executor {
     uint64_t ready_at = 0;     // earliest schedulable time when kRunnable
     uint64_t cpu_release = 0;  // time up to which the current slice used CPU
     uint64_t last_sched = 0;   // scheduling sequence number (for fairness)
+    // When kWaiting with a deadline, the scheduler may wake the thread at
+    // this virtual time even if the event never fires.
+    uint64_t wait_deadline = kNoDeadline;
     bool kill_requested = false;
     bool in_hook = false;  // preemption hook active (suppresses nesting)
     std::unique_ptr<ThreadCtx> ctx;
@@ -231,6 +243,7 @@ class Executor {
   void thread_sleep(SimThread& t, uint64_t ns);
   void thread_yield(SimThread& t);
   void thread_wait_event(SimThread& t, Event& ev);
+  bool thread_wait_event_until(SimThread& t, Event& ev, uint64_t deadline_ns);
   void event_set(SimThread* setter, Event& ev);
 
   // Returns the baton to the scheduler and blocks until rescheduled.

@@ -1,0 +1,76 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace mig::sim {
+
+FaultPlan::FaultPlan() : state_(std::make_shared<State>()) {}
+
+FaultPlan& FaultPlan::drop_message(uint64_t nth) {
+  state_->rules.push_back(Rule{Action::kDrop, nth, nullptr, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::sever_at_message(uint64_t nth) {
+  state_->rules.push_back(Rule{Action::kSever, nth, nullptr, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_message(uint64_t nth, uint64_t extra_ns) {
+  state_->rules.push_back(Rule{Action::kDelay, nth, nullptr, extra_ns, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_message(uint64_t nth, size_t offset) {
+  state_->rules.push_back(Rule{Action::kCorrupt, nth, nullptr, 0, offset});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_when(Predicate pred) {
+  state_->rules.push_back(Rule{Action::kDrop, 0, std::move(pred), 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::sever_when(Predicate pred) {
+  state_->rules.push_back(Rule{Action::kSever, 0, std::move(pred), 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_when(Predicate pred, size_t offset) {
+  state_->rules.push_back(Rule{Action::kCorrupt, 0, std::move(pred), 0, offset});
+  return *this;
+}
+
+void FaultPlan::install(Pipe& pipe) const {
+  std::shared_ptr<State> st = state_;
+  pipe.set_fault_hook(
+      [st](uint64_t msg_index, Bytes& m) -> Pipe::FaultDecision {
+        st->seen = msg_index;
+        Pipe::FaultDecision fd;
+        for (const Rule& rule : st->rules) {
+          bool match = rule.pred ? rule.pred(m) : rule.nth == msg_index;
+          if (!match) continue;
+          ++st->fired;
+          switch (rule.action) {
+            case Action::kDrop:
+              fd.drop = true;
+              break;
+            case Action::kSever:
+              fd.sever = true;
+              break;
+            case Action::kDelay:
+              fd.extra_delay_ns += rule.extra_delay_ns;
+              break;
+            case Action::kCorrupt:
+              if (!m.empty()) m[std::min(rule.corrupt_offset, m.size() - 1)] ^= 0x40;
+              break;
+          }
+        }
+        return fd;
+      });
+}
+
+uint64_t FaultPlan::messages_seen() const { return state_->seen; }
+uint64_t FaultPlan::faults_fired() const { return state_->fired; }
+
+}  // namespace mig::sim

@@ -1,0 +1,73 @@
+// Deterministic scripted fault injection for simulated links.
+//
+// A FaultPlan describes what goes wrong on ONE pipe (one direction of a
+// channel): lose the Nth message, corrupt it, delay it, or kill the link as
+// it is sent. Plans install into Pipe's fault hook, which runs after the
+// eavesdropping tap, so attack recorders still see what the network ate.
+// Because the simulation is deterministic, "sever at the 3rd message" is a
+// reproducible experiment, and the failure-matrix tests use exactly that to
+// pin down the migration protocol's terminal states under partial failure.
+//
+// Rules are matched by message index (1-based count of send attempts on the
+// pipe) or by predicate over the payload (e.g. "the first kStop frame").
+// Index rules fire at most once; predicate rules fire on every match.
+// A one-way partition is a plan with sever_at_message()/sever_when() on one
+// pipe of a channel while the reverse pipe stays healthy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/bytes.h"
+
+namespace mig::sim {
+
+class FaultPlan {
+ public:
+  using Predicate = std::function<bool(const Bytes& message)>;
+
+  FaultPlan();
+
+  // --- index-based rules (1-based send-attempt index, fire once) ---
+  FaultPlan& drop_message(uint64_t nth);
+  FaultPlan& sever_at_message(uint64_t nth);  // the Nth send is also lost
+  FaultPlan& delay_message(uint64_t nth, uint64_t extra_ns);
+  // Flips one byte at `offset` (clamped into the payload).
+  FaultPlan& corrupt_message(uint64_t nth, size_t offset = 0);
+
+  // --- content-based rules (fire on every matching send) ---
+  FaultPlan& drop_when(Predicate pred);
+  FaultPlan& sever_when(Predicate pred);
+  FaultPlan& corrupt_when(Predicate pred, size_t offset = 0);
+
+  // Installs this plan as `pipe`'s fault hook. The pipe holds shared
+  // ownership of the rule state, so the plan object may go out of scope
+  // while the simulation runs; counters stay readable through it.
+  void install(Pipe& pipe) const;
+
+  // Observability for assertions.
+  uint64_t messages_seen() const;
+  uint64_t faults_fired() const;
+
+ private:
+  enum class Action : uint8_t { kDrop, kSever, kDelay, kCorrupt };
+  struct Rule {
+    Action action;
+    uint64_t nth = 0;          // 0 => predicate rule
+    Predicate pred;            // null => index rule
+    uint64_t extra_delay_ns = 0;
+    size_t corrupt_offset = 0;
+  };
+  struct State {
+    std::vector<Rule> rules;
+    uint64_t seen = 0;
+    uint64_t fired = 0;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mig::sim

@@ -10,13 +10,18 @@ void Pipe::send(ThreadCtx& sender, Bytes message) {
 
 void Pipe::send_sized(ThreadCtx& sender, Bytes message, uint64_t virtual_bytes) {
   if (tap_) tap_(message);
-  if (severed_) return;  // dropped on the floor
+  FaultDecision fd;
+  if (fault_hook_) fd = fault_hook_(++sends_attempted_, message);
+  if (fd.sever) severed_ = true;
+  // Dropped messages never touch the link: no bandwidth is consumed and
+  // link_free_ns_ does not advance.
+  if (severed_ || fd.drop) return;
   uint64_t size = std::max<uint64_t>(message.size(), virtual_bytes);
   // Serialization on the link: transmission starts when both the sender is
   // ready and the link has drained the previous message.
   uint64_t tx_start = std::max(sender.now(), link_free_ns_);
   uint64_t tx_ns = per_byte_x100(cost_->net_ns_per_byte_x100, size);
-  uint64_t arrival = tx_start + tx_ns + cost_->net_latency_ns;
+  uint64_t arrival = tx_start + tx_ns + cost_->net_latency_ns + fd.extra_delay_ns;
   link_free_ns_ = tx_start + tx_ns;
   bytes_sent_ += size;
   ++messages_sent_;
@@ -37,6 +42,30 @@ Bytes Pipe::recv(ThreadCtx& receiver) {
     }
     event_.reset();
     event_.wait(receiver);
+  }
+}
+
+std::optional<Bytes> Pipe::recv_deadline(ThreadCtx& receiver,
+                                         uint64_t deadline_ns) {
+  for (;;) {
+    if (!queue_.empty()) {
+      InFlight& head = queue_.front();
+      if (head.arrival_ns > deadline_ns) {
+        // The next message cannot make the deadline; give up at the deadline.
+        if (deadline_ns > receiver.now())
+          receiver.sleep(deadline_ns - receiver.now());
+        return std::nullopt;
+      }
+      if (head.arrival_ns > receiver.now()) {
+        receiver.sleep(head.arrival_ns - receiver.now());
+      }
+      Bytes out = std::move(head.payload);
+      queue_.pop_front();
+      return out;
+    }
+    if (receiver.now() >= deadline_ns) return std::nullopt;
+    event_.reset();
+    if (!event_.wait_until(receiver, deadline_ns)) return std::nullopt;
   }
 }
 

@@ -42,19 +42,47 @@ class Pipe {
   // clock advances to at least the message's arrival time.
   Bytes recv(ThreadCtx& receiver);
 
+  // Like recv(), but gives up at absolute virtual time `deadline_ns`:
+  // returns nullopt with the receiver's clock advanced to the deadline when
+  // no message arrives by then. kNoDeadline blocks forever (== recv()).
+  std::optional<Bytes> recv_deadline(ThreadCtx& receiver, uint64_t deadline_ns);
+
+  // Relative-timeout convenience over recv_deadline().
+  std::optional<Bytes> recv_timeout(ThreadCtx& receiver, uint64_t timeout_ns) {
+    return recv_deadline(receiver, receiver.now() + timeout_ns);
+  }
+
   // Non-blocking: message if one has arrived by the receiver's clock.
   std::optional<Bytes> try_recv(ThreadCtx& receiver);
 
   // Tap invoked on every send, may mutate (tamper) or copy (eavesdrop) the
-  // payload before it is enqueued.
+  // payload before it is enqueued. The tap models the sender's NIC: it sees
+  // every send attempt, including ones a severed link then drops.
   using Tap = std::function<void(Bytes& message)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
-  // Simulates link failure: subsequent sends are dropped silently and
-  // blocked receivers... stay blocked (callers use timeouts at higher
-  // layers). Models the "migration cancelled due to network problem" case.
+  // Scripted fault verdict for one send, applied after the tap and before
+  // queueing. Used by FaultPlan (sim/fault.h); tests rarely set it directly.
+  struct FaultDecision {
+    bool drop = false;            // lose this message silently
+    bool sever = false;           // the link dies as this send starts
+    uint64_t extra_delay_ns = 0;  // added to this message's arrival time
+  };
+  // `msg_index` counts send attempts on this pipe, starting at 1.
+  using FaultHook = std::function<FaultDecision(uint64_t msg_index, Bytes& m)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // Simulates link failure: subsequent sends are dropped silently (charging
+  // no bandwidth) and blocked receivers wake only via recv_deadline — the
+  // timeout layer in the migration engine. Models the "migration cancelled
+  // due to network problem" case.
   void sever() { severed_ = true; }
+  // Heals a severed link (transient partition); messages lost meanwhile stay
+  // lost — retransmission is the protocol's job.
+  void repair() { severed_ = false; }
   bool severed() const { return severed_; }
+
+  static constexpr uint64_t kNoDeadline = ~0ull;
 
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
@@ -69,9 +97,11 @@ class Pipe {
   Event event_;
   std::deque<InFlight> queue_;
   Tap tap_;
+  FaultHook fault_hook_;
   bool severed_ = false;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  uint64_t sends_attempted_ = 0;  // includes sends a fault or sever dropped
   uint64_t link_free_ns_ = 0;  // serialization: link transmits one msg at a time
 };
 
@@ -90,6 +120,12 @@ class Channel {
       out_->send_sized(ctx, std::move(m), virtual_bytes);
     }
     Bytes recv(ThreadCtx& ctx) { return in_->recv(ctx); }
+    std::optional<Bytes> recv_deadline(ThreadCtx& ctx, uint64_t deadline_ns) {
+      return in_->recv_deadline(ctx, deadline_ns);
+    }
+    std::optional<Bytes> recv_timeout(ThreadCtx& ctx, uint64_t timeout_ns) {
+      return in_->recv_timeout(ctx, timeout_ns);
+    }
     std::optional<Bytes> try_recv(ThreadCtx& ctx) { return in_->try_recv(ctx); }
    private:
     Pipe* out_;

@@ -14,6 +14,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kAuthFailure: return "AUTH_FAILURE";
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -25,6 +25,7 @@ enum class ErrorCode {
   kAuthFailure,         // attestation or channel authentication failed
   kAborted,             // operation refused by policy (self-destroy, ...)
   kUnavailable,         // peer/network unavailable
+  kDeadlineExceeded,    // a virtual-time deadline expired (link timeout, ...)
   kInternal,
 };
 

@@ -220,7 +220,7 @@ TEST(Kv, MegabytesOfStateSurviveMigration) {
     auto inst = host.detach_instance();
     guest.set_migration_target(target);
     ASSERT_TRUE(guest.resume_enclaves_after_migration(ctx).ok());
-    ASSERT_TRUE(migrator.restore(ctx, host, source, std::move(inst),
+    ASSERT_TRUE(migrator.restore(ctx, host, source, inst,
                                  std::move(*blob), opts).ok());
 
     auto after = host.ecall(ctx, 0, kKvEcallGet, get.data());

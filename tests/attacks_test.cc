@@ -137,7 +137,7 @@ ConsistencyOutcome run_consistency_scenario(bool use_two_phase) {
     MIG_CHECK(bed.guest->resume_enclaves_after_migration(ctx).ok());
     migration::EnclaveMigrator migrator(bed.world);
     Status st = migrator.restore(ctx, *host, *bed.source,
-                                 std::move(source_inst), std::move(*blob),
+                                 source_inst, std::move(*blob),
                                  migration::EnclaveMigrateOptions{});
     MIG_CHECK_MSG(st.ok(), st.to_string());
 
@@ -208,7 +208,7 @@ TEST(ForkAttack, SourceEnclaveSelfDestroysAndSecondRestoreRefused) {
 
     // First restore: legitimate migration; source self-destroys.
     Status st = migrator.restore(ctx, *target1, *bed.source,
-                                 std::move(source_inst), std::move(*blob),
+                                 source_inst, std::move(*blob),
                                  opts);
     ASSERT_TRUE(st.ok()) << st.to_string();
 
@@ -285,7 +285,7 @@ TEST(RollbackAttack, StaleCheckpointDiesWithRotatedKmigrate) {
     ASSERT_TRUE(fresh.ok());
     auto source_inst = host->detach_instance();
     Status st = migrator.restore(ctx, *target, *bed.source,
-                                 std::move(source_inst), std::move(*stale),
+                                 source_inst, std::move(*stale),
                                  {});
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.code(), ErrorCode::kIntegrityViolation);

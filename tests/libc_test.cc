@@ -197,7 +197,7 @@ TEST(EnclaveLibc, AllocatorStateMigrates) {
     auto inst = host->detach_instance();
     bed.guest.set_migration_target(*bed.target);
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
-    ASSERT_TRUE(migrator.restore(ctx, *host, *bed.machine, std::move(inst),
+    ASSERT_TRUE(migrator.restore(ctx, *host, *bed.machine, inst,
                                  std::move(*blob), {}).ok());
 
     // The allocation (and the allocator's free list) survived: the value is

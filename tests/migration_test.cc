@@ -170,7 +170,7 @@ TEST(EnclaveMigration, StateSurvivesMachineSwitch) {
     // registered, so now run the migrator manually.)
     ASSERT_TRUE(restore_ns.ok());
     Status st = migrator.restore(ctx, *host, *bed.source,
-                                 std::move(source_inst), std::move(*ckpt),
+                                 source_inst, std::move(*ckpt),
                                  opts);
     ASSERT_TRUE(st.ok()) << st.to_string();
 
@@ -219,7 +219,7 @@ TEST(EnclaveMigration, InFlightEcallResumesOnTarget) {
     bed.guest.set_migration_target(*bed.target);
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
     Status st = migrator.restore(ctx, *host, *bed.source,
-                                 std::move(source_inst), std::move(*ckpt),
+                                 source_inst, std::move(*ckpt),
                                  opts);
     ASSERT_TRUE(st.ok()) << st.to_string();
     (void)prep;
@@ -260,7 +260,7 @@ TEST(EnclaveMigration, AgentOptimizationDeliversKeyLocally) {
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
     opts.agent = &(*agent)->port();
     Status st = migrator.restore(ctx, *host, *bed.source,
-                                 std::move(source_inst), std::move(*ckpt),
+                                 source_inst, std::move(*ckpt),
                                  opts);
     ASSERT_TRUE(st.ok()) << st.to_string();
 
@@ -317,7 +317,7 @@ TEST(EnclaveMigration, TamperedCheckpointRejected) {
     bed.guest.set_migration_target(*bed.target);
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
     Status st = migrator.restore(ctx, *host, *bed.source,
-                                 std::move(source_inst), std::move(tampered),
+                                 source_inst, std::move(tampered),
                                  opts);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.code(), ErrorCode::kIntegrityViolation);

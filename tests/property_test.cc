@@ -13,6 +13,7 @@
 #include "migration/session.h"
 #include "sdk/builder.h"
 #include "sdk/host.h"
+#include "sim/fault.h"
 #include "sim/rng.h"
 #include "util/serde.h"
 
@@ -127,7 +128,7 @@ TEST_P(MigrationSweep, BusyEnclaveMigratesAndEveryBumpLands) {
     auto inst = host->detach_instance();
     bed.guest.set_migration_target(*bed.target);
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
-    ASSERT_TRUE(migrator.restore(ctx, *host, *bed.source, std::move(inst),
+    ASSERT_TRUE(migrator.restore(ctx, *host, *bed.source, inst,
                                  std::move(*blob), opts).ok());
     for (auto& ev : done) ev->wait(ctx);  // all ecalls complete on the target
 
@@ -234,6 +235,112 @@ TEST(EpcPressure, DriverEvictsAndFaultsBackUnderTinyEpc) {
   EXPECT_GT(guest.driver().evictions(), 0u);
   EXPECT_GT(guest.driver().faults_served(), 0u);
 }
+
+// ---- migration atomicity under random faults ----------------------------------
+//
+// Property: whatever single scripted network fault hits whichever link at
+// whatever moment, after the dust settles there is EXACTLY ONE place the
+// enclave can run — or none, but then only because the source provably
+// destroyed itself (commit point crossed) and every pending caller got a
+// clean kAborted instead of a hang. Never two runnable copies; never a
+// silent wedge.
+
+class FaultAtomicitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultAtomicitySweep, ExactlyOneRunnableEnclaveEverSurvives) {
+  sim::Rng rnd(GetParam());
+  // Random fault site: which link, which direction, what kind, which message.
+  const int via = rnd.below(4);         // 0/1: migration link, 2/3: handshake
+  const bool a_to_b = (via % 2) == 0;
+  const int kind = rnd.below(3);
+  const uint64_t nth = rnd.range(1, via < 2 ? 12 : 2);
+  const size_t offset = rnd.below(256);
+
+  PropBed bed;
+  auto host = bed.make_host(2);
+  sim::FaultPlan plan;
+  switch (kind) {
+    case 0: plan.drop_message(nth); break;
+    case 1: plan.sever_at_message(nth); break;
+    case 2: plan.corrupt_message(nth, offset); break;
+  }
+
+  Result<hv::MigrationReport> run = Error(ErrorCode::kInternal, "unset");
+  Status probe = OkStatus();
+  uint64_t counter = 0;
+  bool has_instance = false, lost = false, on_source = false, on_target = false;
+  uint64_t started_ns = 0, finished_ns = 0;
+
+  bed.world.executor().spawn("test", [&](sim::ThreadCtx& ctx) {
+    ASSERT_TRUE(host->create(ctx).ok());
+    bed.provision(ctx, *host);
+    Writer w;
+    w.u64(42);
+    w.u64(1);
+    ASSERT_TRUE(host->ecall(ctx, 0, kEcallBump, w.data()).ok());
+
+    migration::VmMigrationSession session(
+        bed.world, bed.vm, bed.guest, *bed.source, *bed.target,
+        migration::VmMigrationSession::Options{});
+    session.manage(*host);
+    int next_channel = 0;
+    const int wanted = via < 2 ? 0 : 1;
+    bed.world.set_channel_interceptor([&](sim::Channel& ch) {
+      if (next_channel++ == wanted)
+        plan.install(a_to_b ? ch.a_to_b() : ch.b_to_a());
+    });
+    started_ns = ctx.now();
+    run = session.run(ctx);
+    finished_ns = ctx.now();
+
+    lost = host->instance_lost();
+    has_instance = host->instance() != nullptr;
+    if (has_instance) {
+      on_source = host->instance()->machine == bed.source;
+      on_target = host->instance()->machine == bed.target;
+    }
+    auto got = host->ecall(ctx, 0, kEcallSum, {});
+    probe = got.status();
+    if (got.ok()) {
+      Reader r(*got);
+      counter = r.u64();
+    }
+  });
+  // Invariant 0: no virtual deadlock, bounded virtual time.
+  ASSERT_TRUE(bed.world.executor().run())
+      << "deadlock (via=" << via << " kind=" << kind << " nth=" << nth << ")";
+  EXPECT_LT(finished_ns - started_ns, 400'000'000'000ull);
+
+  SCOPED_TRACE("via=" + std::to_string(via) + " kind=" + std::to_string(kind) +
+               " nth=" + std::to_string(nth));
+  if (probe.ok()) {
+    // A survivor exists: it lives on exactly one machine with intact state.
+    ASSERT_TRUE(has_instance);
+    EXPECT_TRUE(on_source != on_target);
+    EXPECT_FALSE(lost);
+    EXPECT_EQ(counter, 42u);
+    // A migration reported successful must have committed to the target.
+    if (run.ok()) {
+      EXPECT_TRUE(on_target);
+    }
+    // A rollback must have landed back on the source, never half-way.
+    if (!run.ok() && on_source) {
+      EXPECT_TRUE(bed.vm.running());
+    }
+  } else {
+    // No survivor: only legal after the commit point, with a clean abort for
+    // every later caller (the key died with the source — no live key without
+    // a runnable enclave).
+    EXPECT_FALSE(run.ok());
+    EXPECT_EQ(probe.code(), ErrorCode::kAborted) << probe.to_string();
+    EXPECT_TRUE(lost);
+    EXPECT_FALSE(has_instance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultAtomicitySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42, 99,
+                                           1337, 4096, 0xfa17));
 
 // ---- checkpoint fuzzing ---------------------------------------------------------
 

@@ -129,7 +129,7 @@ TEST(SizePadding, PaddedCheckpointStillRestores) {
     auto inst = host.detach_instance();
     bed.guest.set_migration_target(target);
     ASSERT_TRUE(bed.guest.resume_enclaves_after_migration(ctx).ok());
-    Status st = migrator.restore(ctx, host, *bed.machine, std::move(inst),
+    Status st = migrator.restore(ctx, host, *bed.machine, inst,
                                  std::move(reply.blob), {});
     EXPECT_TRUE(st.ok()) << st.to_string();
   });

@@ -265,5 +265,77 @@ TEST(Executor, SpawnFromSimThreadInheritsClock) {
   EXPECT_GE(child_start, 77'000u);
 }
 
+TEST(EventWaitUntil, TimeoutAdvancesClockToDeadlineAndReturnsFalse) {
+  Executor exec(1);
+  Event ev(exec);
+  bool got = true;
+  uint64_t after = 0;
+  exec.spawn("waiter", [&](ThreadCtx& ctx) {
+    got = ev.wait_until(ctx, 5'000'000);
+    after = ctx.now();
+  });
+  ASSERT_TRUE(exec.run());  // a timed wait never deadlocks the world
+  EXPECT_FALSE(got);
+  EXPECT_EQ(after, 5'000'000u);
+}
+
+TEST(EventWaitUntil, SetBeforeDeadlineWakesEarlyAndJoinsClocks) {
+  Executor exec(2);
+  Event ev(exec);
+  bool got = false;
+  uint64_t after = 0;
+  exec.spawn("waiter", [&](ThreadCtx& ctx) {
+    got = ev.wait_until(ctx, 50'000'000);
+    after = ctx.now();
+  });
+  exec.spawn("setter", [&](ThreadCtx& ctx) {
+    ctx.sleep(1'000'000);
+    ev.set(ctx);
+  });
+  ASSERT_TRUE(exec.run());
+  EXPECT_TRUE(got);
+  EXPECT_GE(after, 1'000'000u);   // woke at the setter's time...
+  EXPECT_LT(after, 50'000'000u);  // ...not at the deadline
+}
+
+TEST(EventWaitUntil, PastDeadlineChecksWithoutBlocking) {
+  Executor exec(1);
+  Event ev(exec);
+  exec.spawn("t", [&](ThreadCtx& ctx) {
+    ctx.work(2'000);
+    // Unset event, deadline already behind us: false, clock untouched.
+    EXPECT_FALSE(ev.wait_until(ctx, 1'000));
+    EXPECT_EQ(ctx.now(), 2'000u);
+    ev.set(ctx);
+    // Set event: true regardless of the stale deadline.
+    EXPECT_TRUE(ev.wait_until(ctx, 1'000));
+  });
+  ASSERT_TRUE(exec.run());
+}
+
+TEST(EventWaitUntil, AbandonedWaitersAllTimeOutIndependently) {
+  // Several threads waiting on events nobody will ever set: with deadlines
+  // this is not a deadlock — each times out at its own virtual instant.
+  Executor exec(4);
+  Event never1(exec), never2(exec);
+  std::vector<uint64_t> wake(3, 0);
+  exec.spawn("a", [&](ThreadCtx& ctx) {
+    EXPECT_FALSE(never1.wait_until(ctx, 3'000'000));
+    wake[0] = ctx.now();
+  });
+  exec.spawn("b", [&](ThreadCtx& ctx) {
+    EXPECT_FALSE(never1.wait_until(ctx, 7'000'000));
+    wake[1] = ctx.now();
+  });
+  exec.spawn("c", [&](ThreadCtx& ctx) {
+    EXPECT_FALSE(never2.wait_until(ctx, 5'000'000));
+    wake[2] = ctx.now();
+  });
+  ASSERT_TRUE(exec.run());
+  EXPECT_EQ(wake[0], 3'000'000u);
+  EXPECT_EQ(wake[1], 7'000'000u);
+  EXPECT_EQ(wake[2], 5'000'000u);
+}
+
 }  // namespace
 }  // namespace mig::sim

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_agent.dir/ablate_agent.cc.o"
+  "CMakeFiles/ablate_agent.dir/ablate_agent.cc.o.d"
+  "ablate_agent"
+  "ablate_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

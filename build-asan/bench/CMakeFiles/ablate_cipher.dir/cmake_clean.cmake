@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cipher.dir/ablate_cipher.cc.o"
+  "CMakeFiles/ablate_cipher.dir/ablate_cipher.cc.o.d"
+  "ablate_cipher"
+  "ablate_cipher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

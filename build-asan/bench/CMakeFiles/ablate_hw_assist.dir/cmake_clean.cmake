@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hw_assist.dir/ablate_hw_assist.cc.o"
+  "CMakeFiles/ablate_hw_assist.dir/ablate_hw_assist.cc.o.d"
+  "ablate_hw_assist"
+  "ablate_hw_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hw_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_precopy.dir/ablate_precopy.cc.o"
+  "CMakeFiles/ablate_precopy.dir/ablate_precopy.cc.o.d"
+  "ablate_precopy"
+  "ablate_precopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_precopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_restore.dir/fig10a_restore.cc.o"
+  "CMakeFiles/fig10a_restore.dir/fig10a_restore.cc.o.d"
+  "fig10a_restore"
+  "fig10a_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10bcd_live_migration.cc" "bench/CMakeFiles/fig10bcd_live_migration.dir/fig10bcd_live_migration.cc.o" "gcc" "bench/CMakeFiles/fig10bcd_live_migration.dir/fig10bcd_live_migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_attacks.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_migration.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sdk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10bcd_live_migration.dir/fig10bcd_live_migration.cc.o"
+  "CMakeFiles/fig10bcd_live_migration.dir/fig10bcd_live_migration.cc.o.d"
+  "fig10bcd_live_migration"
+  "fig10bcd_live_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10bcd_live_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

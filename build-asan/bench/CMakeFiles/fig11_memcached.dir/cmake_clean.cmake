@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memcached.dir/fig11_memcached.cc.o"
+  "CMakeFiles/fig11_memcached.dir/fig11_memcached.cc.o.d"
+  "fig11_memcached"
+  "fig11_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_nbench.dir/fig9a_nbench.cc.o"
+  "CMakeFiles/fig9a_nbench.dir/fig9a_nbench.cc.o.d"
+  "fig9a_nbench"
+  "fig9a_nbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_nbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

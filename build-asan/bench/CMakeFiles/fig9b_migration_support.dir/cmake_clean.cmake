@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_migration_support.dir/fig9b_migration_support.cc.o"
+  "CMakeFiles/fig9b_migration_support.dir/fig9b_migration_support.cc.o.d"
+  "fig9b_migration_support"
+  "fig9b_migration_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_migration_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_two_phase.dir/fig9c_two_phase.cc.o"
+  "CMakeFiles/fig9c_two_phase.dir/fig9c_two_phase.cc.o.d"
+  "fig9c_two_phase"
+  "fig9c_two_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_two_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9c_two_phase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9d_dump_all.dir/fig9d_dump_all.cc.o"
+  "CMakeFiles/fig9d_dump_all.dir/fig9d_dump_all.cc.o.d"
+  "fig9d_dump_all"
+  "fig9d_dump_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9d_dump_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

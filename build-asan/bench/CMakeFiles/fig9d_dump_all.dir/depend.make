@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9d_dump_all.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mail_server.dir/mail_server.cc.o"
+  "CMakeFiles/example_mail_server.dir/mail_server.cc.o.d"
+  "example_mail_server"
+  "example_mail_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mail_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_snapshot_audit.dir/snapshot_audit.cc.o"
+  "CMakeFiles/example_snapshot_audit.dir/snapshot_audit.cc.o.d"
+  "example_snapshot_audit"
+  "example_snapshot_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_snapshot_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

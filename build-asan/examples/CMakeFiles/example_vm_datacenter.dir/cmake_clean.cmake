@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vm_datacenter.dir/vm_datacenter.cc.o"
+  "CMakeFiles/example_vm_datacenter.dir/vm_datacenter.cc.o.d"
+  "example_vm_datacenter"
+  "example_vm_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vm_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_apps.dir/apps/module.cc.o: \
+ /root/repo/src/apps/module.cc /usr/include/stdc-predef.h

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_apps.dir/apps/bank.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/bank.cc.o.d"
+  "CMakeFiles/mig_apps.dir/apps/kv.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/kv.cc.o.d"
+  "CMakeFiles/mig_apps.dir/apps/mailserver.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/mailserver.cc.o.d"
+  "CMakeFiles/mig_apps.dir/apps/module.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/module.cc.o.d"
+  "CMakeFiles/mig_apps.dir/apps/nbench.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/nbench.cc.o.d"
+  "CMakeFiles/mig_apps.dir/apps/workloads.cc.o"
+  "CMakeFiles/mig_apps.dir/apps/workloads.cc.o.d"
+  "libmig_apps.a"
+  "libmig_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

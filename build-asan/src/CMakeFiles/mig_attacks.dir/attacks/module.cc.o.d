@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_attacks.dir/attacks/module.cc.o: \
+ /root/repo/src/attacks/module.cc /usr/include/stdc-predef.h

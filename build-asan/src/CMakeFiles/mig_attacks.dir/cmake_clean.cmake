@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_attacks.dir/attacks/attacks.cc.o"
+  "CMakeFiles/mig_attacks.dir/attacks/attacks.cc.o.d"
+  "CMakeFiles/mig_attacks.dir/attacks/module.cc.o"
+  "CMakeFiles/mig_attacks.dir/attacks/module.cc.o.d"
+  "libmig_attacks.a"
+  "libmig_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

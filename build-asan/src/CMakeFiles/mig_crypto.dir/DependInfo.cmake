@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cc" "src/CMakeFiles/mig_crypto.dir/crypto/aead.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/aead.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/mig_crypto.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/CMakeFiles/mig_crypto.dir/crypto/bignum.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/bignum.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/CMakeFiles/mig_crypto.dir/crypto/chacha20.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/CMakeFiles/mig_crypto.dir/crypto/des.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/des.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/CMakeFiles/mig_crypto.dir/crypto/dh.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/dh.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/mig_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/module.cc" "src/CMakeFiles/mig_crypto.dir/crypto/module.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/module.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/mig_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/mig_crypto.dir/crypto/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_crypto.dir/crypto/aead.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/aead.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/aes128.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/aes128.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/bignum.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/bignum.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/chacha20.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/chacha20.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/des.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/des.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/dh.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/dh.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/module.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/module.cc.o.d"
+  "CMakeFiles/mig_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/mig_crypto.dir/crypto/sha256.cc.o.d"
+  "libmig_crypto.a"
+  "libmig_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_crypto.dir/crypto/module.cc.o: \
+ /root/repo/src/crypto/module.cc /usr/include/stdc-predef.h

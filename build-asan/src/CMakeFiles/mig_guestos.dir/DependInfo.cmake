@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/guest_os.cc" "src/CMakeFiles/mig_guestos.dir/guestos/guest_os.cc.o" "gcc" "src/CMakeFiles/mig_guestos.dir/guestos/guest_os.cc.o.d"
+  "/root/repo/src/guestos/module.cc" "src/CMakeFiles/mig_guestos.dir/guestos/module.cc.o" "gcc" "src/CMakeFiles/mig_guestos.dir/guestos/module.cc.o.d"
+  "/root/repo/src/guestos/sgx_driver.cc" "src/CMakeFiles/mig_guestos.dir/guestos/sgx_driver.cc.o" "gcc" "src/CMakeFiles/mig_guestos.dir/guestos/sgx_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

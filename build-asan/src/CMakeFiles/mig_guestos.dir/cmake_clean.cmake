@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_guestos.dir/guestos/guest_os.cc.o"
+  "CMakeFiles/mig_guestos.dir/guestos/guest_os.cc.o.d"
+  "CMakeFiles/mig_guestos.dir/guestos/module.cc.o"
+  "CMakeFiles/mig_guestos.dir/guestos/module.cc.o.d"
+  "CMakeFiles/mig_guestos.dir/guestos/sgx_driver.cc.o"
+  "CMakeFiles/mig_guestos.dir/guestos/sgx_driver.cc.o.d"
+  "libmig_guestos.a"
+  "libmig_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

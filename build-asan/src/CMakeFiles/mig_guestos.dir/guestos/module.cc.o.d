@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_guestos.dir/guestos/module.cc.o: \
+ /root/repo/src/guestos/module.cc /usr/include/stdc-predef.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/hypervisor.cc" "src/CMakeFiles/mig_hv.dir/hv/hypervisor.cc.o" "gcc" "src/CMakeFiles/mig_hv.dir/hv/hypervisor.cc.o.d"
+  "/root/repo/src/hv/live_migration.cc" "src/CMakeFiles/mig_hv.dir/hv/live_migration.cc.o" "gcc" "src/CMakeFiles/mig_hv.dir/hv/live_migration.cc.o.d"
+  "/root/repo/src/hv/machine.cc" "src/CMakeFiles/mig_hv.dir/hv/machine.cc.o" "gcc" "src/CMakeFiles/mig_hv.dir/hv/machine.cc.o.d"
+  "/root/repo/src/hv/module.cc" "src/CMakeFiles/mig_hv.dir/hv/module.cc.o" "gcc" "src/CMakeFiles/mig_hv.dir/hv/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

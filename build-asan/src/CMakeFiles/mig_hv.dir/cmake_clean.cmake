@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_hv.dir/hv/hypervisor.cc.o"
+  "CMakeFiles/mig_hv.dir/hv/hypervisor.cc.o.d"
+  "CMakeFiles/mig_hv.dir/hv/live_migration.cc.o"
+  "CMakeFiles/mig_hv.dir/hv/live_migration.cc.o.d"
+  "CMakeFiles/mig_hv.dir/hv/machine.cc.o"
+  "CMakeFiles/mig_hv.dir/hv/machine.cc.o.d"
+  "CMakeFiles/mig_hv.dir/hv/module.cc.o"
+  "CMakeFiles/mig_hv.dir/hv/module.cc.o.d"
+  "libmig_hv.a"
+  "libmig_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_hv.dir/hv/module.cc.o: /root/repo/src/hv/module.cc \
+ /usr/include/stdc-predef.h

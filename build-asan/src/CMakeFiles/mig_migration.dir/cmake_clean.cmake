@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_migration.dir/migration/module.cc.o"
+  "CMakeFiles/mig_migration.dir/migration/module.cc.o.d"
+  "CMakeFiles/mig_migration.dir/migration/owner.cc.o"
+  "CMakeFiles/mig_migration.dir/migration/owner.cc.o.d"
+  "CMakeFiles/mig_migration.dir/migration/session.cc.o"
+  "CMakeFiles/mig_migration.dir/migration/session.cc.o.d"
+  "libmig_migration.a"
+  "libmig_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_migration.dir/migration/module.cc.o: \
+ /root/repo/src/migration/module.cc /usr/include/stdc-predef.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdk/builder.cc" "src/CMakeFiles/mig_sdk.dir/sdk/builder.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/builder.cc.o.d"
+  "/root/repo/src/sdk/control.cc" "src/CMakeFiles/mig_sdk.dir/sdk/control.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/control.cc.o.d"
+  "/root/repo/src/sdk/enclave_env.cc" "src/CMakeFiles/mig_sdk.dir/sdk/enclave_env.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/enclave_env.cc.o.d"
+  "/root/repo/src/sdk/enclave_libc.cc" "src/CMakeFiles/mig_sdk.dir/sdk/enclave_libc.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/enclave_libc.cc.o.d"
+  "/root/repo/src/sdk/host.cc" "src/CMakeFiles/mig_sdk.dir/sdk/host.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/host.cc.o.d"
+  "/root/repo/src/sdk/module.cc" "src/CMakeFiles/mig_sdk.dir/sdk/module.cc.o" "gcc" "src/CMakeFiles/mig_sdk.dir/sdk/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

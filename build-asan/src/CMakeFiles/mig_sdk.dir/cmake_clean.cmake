@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_sdk.dir/sdk/builder.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/builder.cc.o.d"
+  "CMakeFiles/mig_sdk.dir/sdk/control.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/control.cc.o.d"
+  "CMakeFiles/mig_sdk.dir/sdk/enclave_env.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/enclave_env.cc.o.d"
+  "CMakeFiles/mig_sdk.dir/sdk/enclave_libc.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/enclave_libc.cc.o.d"
+  "CMakeFiles/mig_sdk.dir/sdk/host.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/host.cc.o.d"
+  "CMakeFiles/mig_sdk.dir/sdk/module.cc.o"
+  "CMakeFiles/mig_sdk.dir/sdk/module.cc.o.d"
+  "libmig_sdk.a"
+  "libmig_sdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_sdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

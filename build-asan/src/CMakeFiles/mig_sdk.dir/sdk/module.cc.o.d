@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_sdk.dir/sdk/module.cc.o: /root/repo/src/sdk/module.cc \
+ /usr/include/stdc-predef.h

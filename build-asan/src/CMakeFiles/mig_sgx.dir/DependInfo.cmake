@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cc" "src/CMakeFiles/mig_sgx.dir/sgx/attestation.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/attestation.cc.o.d"
+  "/root/repo/src/sgx/hardware.cc" "src/CMakeFiles/mig_sgx.dir/sgx/hardware.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/hardware.cc.o.d"
+  "/root/repo/src/sgx/hardware_ext.cc" "src/CMakeFiles/mig_sgx.dir/sgx/hardware_ext.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/hardware_ext.cc.o.d"
+  "/root/repo/src/sgx/image.cc" "src/CMakeFiles/mig_sgx.dir/sgx/image.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/image.cc.o.d"
+  "/root/repo/src/sgx/module.cc" "src/CMakeFiles/mig_sgx.dir/sgx/module.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/module.cc.o.d"
+  "/root/repo/src/sgx/types.cc" "src/CMakeFiles/mig_sgx.dir/sgx/types.cc.o" "gcc" "src/CMakeFiles/mig_sgx.dir/sgx/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_sgx.dir/sgx/attestation.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/attestation.cc.o.d"
+  "CMakeFiles/mig_sgx.dir/sgx/hardware.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/hardware.cc.o.d"
+  "CMakeFiles/mig_sgx.dir/sgx/hardware_ext.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/hardware_ext.cc.o.d"
+  "CMakeFiles/mig_sgx.dir/sgx/image.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/image.cc.o.d"
+  "CMakeFiles/mig_sgx.dir/sgx/module.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/module.cc.o.d"
+  "CMakeFiles/mig_sgx.dir/sgx/types.cc.o"
+  "CMakeFiles/mig_sgx.dir/sgx/types.cc.o.d"
+  "libmig_sgx.a"
+  "libmig_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/mig_sgx.dir/sgx/module.cc.o: /root/repo/src/sgx/module.cc \
+ /usr/include/stdc-predef.h

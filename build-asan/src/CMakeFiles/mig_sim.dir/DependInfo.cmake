@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/mig_sim.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/CMakeFiles/mig_sim.dir/sim/fault.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/fault.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/mig_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/mig_sim.dir/sim/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_sim.dir/sim/executor.cc.o"
+  "CMakeFiles/mig_sim.dir/sim/executor.cc.o.d"
+  "CMakeFiles/mig_sim.dir/sim/fault.cc.o"
+  "CMakeFiles/mig_sim.dir/sim/fault.cc.o.d"
+  "CMakeFiles/mig_sim.dir/sim/network.cc.o"
+  "CMakeFiles/mig_sim.dir/sim/network.cc.o.d"
+  "libmig_sim.a"
+  "libmig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_util.dir/util/bytes.cc.o"
+  "CMakeFiles/mig_util.dir/util/bytes.cc.o.d"
+  "CMakeFiles/mig_util.dir/util/check.cc.o"
+  "CMakeFiles/mig_util.dir/util/check.cc.o.d"
+  "CMakeFiles/mig_util.dir/util/status.cc.o"
+  "CMakeFiles/mig_util.dir/util/status.cc.o.d"
+  "libmig_util.a"
+  "libmig_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

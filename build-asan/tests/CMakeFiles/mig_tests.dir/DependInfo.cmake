@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/mig_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/attacks_test.cc" "tests/CMakeFiles/mig_tests.dir/attacks_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/attacks_test.cc.o.d"
+  "/root/repo/tests/crypto_edge_test.cc" "tests/CMakeFiles/mig_tests.dir/crypto_edge_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/crypto_edge_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/mig_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/mig_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/figures_test.cc" "tests/CMakeFiles/mig_tests.dir/figures_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/figures_test.cc.o.d"
+  "/root/repo/tests/guestos_test.cc" "tests/CMakeFiles/mig_tests.dir/guestos_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/guestos_test.cc.o.d"
+  "/root/repo/tests/hv_test.cc" "tests/CMakeFiles/mig_tests.dir/hv_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/hv_test.cc.o.d"
+  "/root/repo/tests/libc_test.cc" "tests/CMakeFiles/mig_tests.dir/libc_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/libc_test.cc.o.d"
+  "/root/repo/tests/migration_test.cc" "tests/CMakeFiles/mig_tests.dir/migration_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/migration_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mig_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sdk_test.cc" "tests/CMakeFiles/mig_tests.dir/sdk_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sdk_test.cc.o.d"
+  "/root/repo/tests/sgx_edge_test.cc" "tests/CMakeFiles/mig_tests.dir/sgx_edge_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sgx_edge_test.cc.o.d"
+  "/root/repo/tests/sgx_hardware_test.cc" "tests/CMakeFiles/mig_tests.dir/sgx_hardware_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sgx_hardware_test.cc.o.d"
+  "/root/repo/tests/sidechannel_test.cc" "tests/CMakeFiles/mig_tests.dir/sidechannel_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sidechannel_test.cc.o.d"
+  "/root/repo/tests/sim_executor_test.cc" "tests/CMakeFiles/mig_tests.dir/sim_executor_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sim_executor_test.cc.o.d"
+  "/root/repo/tests/sim_network_test.cc" "tests/CMakeFiles/mig_tests.dir/sim_network_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/sim_network_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/mig_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vm_migration_test.cc" "tests/CMakeFiles/mig_tests.dir/vm_migration_test.cc.o" "gcc" "tests/CMakeFiles/mig_tests.dir/vm_migration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mig_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_attacks.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_migration.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sdk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/mig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -42,6 +42,10 @@ int main() {
 
   uint64_t direct = run_once(false);
   uint64_t agent = run_once(true);
+  bench::JsonLine("ablate_agent")
+      .num("direct_restore_ns", direct)
+      .num("agent_restore_ns", agent)
+      .emit();
   std::printf("%-28s %16.2f ms\n", "direct (WAN attestation)",
               bench::ms(direct));
   std::printf("%-28s %16.2f ms\n", "agent (local attestation)",

@@ -49,6 +49,11 @@ int main() {
       });
       std::printf("  %-22s %18.1f\n", crypto::cipher_name(alg),
                   bench::us(elapsed));
+      bench::JsonLine("ablate_cipher")
+          .str("cipher", crypto::cipher_name(alg))
+          .num("state_mb", mb)
+          .num("checkpoint_ns", elapsed)
+          .emit();
     }
   }
   std::printf("\n");

@@ -118,6 +118,11 @@ int main() {
     std::printf("%10llu %18.2f %18.2f %9.1fx\n",
                 static_cast<unsigned long long>(mb), bench::ms(sw),
                 bench::ms(hw), static_cast<double>(sw) / hw);
+    bench::JsonLine("ablate_hw_assist")
+        .num("state_mb", mb)
+        .num("software_ns", sw)
+        .num("hardware_ns", hw)
+        .emit();
   }
   std::printf(
       "\nThe hardware path skips the enclave rebuild (SECS migrates), the\n"

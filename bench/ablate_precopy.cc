@@ -39,6 +39,13 @@ int main() {
                 bench::ms(report->downtime_ns),
                 report->transferred_bytes / 1048576.0,
                 converged ? "yes" : "NO");
+    bench::JsonLine("ablate_precopy")
+        .num("dirty_pages_per_sec", rate)
+        .num("rounds", report->rounds)
+        .num("downtime_ns", report->downtime_ns)
+        .num("transferred_bytes", report->transferred_bytes)
+        .num("converged", converged ? 1 : 0)
+        .emit();
   }
   std::printf(
       "\nBeyond the link's drain rate the dirty set never converges and the\n"

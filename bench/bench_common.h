@@ -14,6 +14,8 @@
 #include "hv/machine.h"
 #include "migration/owner.h"
 #include "migration/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sdk/builder.h"
 #include "sdk/host.h"
 #include "util/serde.h"
@@ -104,5 +106,40 @@ inline void print_header(const char* figure, const char* caption) {
 
 inline double us(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
 inline double ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+// Machine-readable result line, one per measured data point, printed next to
+// the human-readable table:
+//
+//   BENCH_JSON {"bench":"fig10a_restore","enclaves":8,"restore_ns":123456}
+//
+// Drivers scrape stdout for the BENCH_JSON prefix and parse the rest as one
+// JSON object (tools/check_trace_schema validates the shape). All virtual-time
+// quantities are integral nanoseconds — no floating point, so output is
+// byte-stable across runs and platforms.
+class JsonLine {
+ public:
+  explicit JsonLine(std::string bench) {
+    body_ = "{\"bench\":\"" + obs::json_escape(bench) + "\"";
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  JsonLine& num(const std::string& key, T v) {
+    body_ += ",\"" + obs::json_escape(key) +
+             "\":" + std::to_string(static_cast<uint64_t>(v));
+    return *this;
+  }
+
+  JsonLine& str(const std::string& key, const std::string& v) {
+    body_ += ",\"" + obs::json_escape(key) + "\":\"" + obs::json_escape(v) +
+             "\"";
+    return *this;
+  }
+
+  void emit() { std::printf("BENCH_JSON %s}\n", body_.c_str()); }
+
+ private:
+  std::string body_;
+};
 
 }  // namespace mig::bench

@@ -38,6 +38,11 @@ int main() {
     });
     std::printf("%10d %24.1f %20.1f\n", n, bench::us(report->enclave_restore_ns),
                 bench::us(report->enclave_restore_ns / n));
+    bench::JsonLine("fig10a_restore")
+        .num("enclaves", n)
+        .num("restore_ns", report->enclave_restore_ns)
+        .num("per_enclave_ns", report->enclave_restore_ns / n)
+        .emit();
   }
   std::printf("\n");
   return 0;

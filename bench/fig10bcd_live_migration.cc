@@ -68,14 +68,26 @@ int main() {
                       "live migration of a 2 GB guest, w/ vs w/o enclaves");
 
   hv::MigrationReport base = run_plain();
+  auto emit = [](int enclaves, const hv::MigrationReport& r) {
+    bench::JsonLine("fig10bcd_live_migration")
+        .num("enclaves", enclaves)
+        .num("total_ns", r.total_ns)
+        .num("downtime_ns", r.downtime_ns)
+        .num("transferred_bytes", r.transferred_bytes)
+        .num("rounds", r.rounds)
+        .num("enclave_restore_ns", r.enclave_restore_ns)
+        .emit();
+  };
   std::printf("%10s | %12s %9s | %12s %9s | %12s %9s\n", "enclaves",
               "total(ms)", "overhead", "downtime(ms)", "delta",
               "transfer(MB)", "delta");
   std::printf("%10s | %12.0f %9s | %12.2f %9s | %12.1f %9s\n", "none",
               bench::ms(base.total_ns), "--", bench::ms(base.downtime_ns),
               "--", base.transferred_bytes / 1048576.0, "--");
+  emit(0, base);
   for (int n : {8, 16, 32, 64}) {
     hv::MigrationReport r = run_with_enclaves(n);
+    emit(n, r);
     std::printf("%10d | %12.0f %+8.1f%% | %12.2f %+7.2fms | %12.1f %+7.1fMB\n",
                 n, bench::ms(r.total_ns),
                 100.0 * (static_cast<double>(r.total_ns) / base.total_ns - 1),

@@ -47,6 +47,11 @@ int main() {
     });
     std::printf("%10llu %22.1f %20.1f\n", static_cast<unsigned long long>(mb),
                 blob_size / 1048576.0, bench::ms(elapsed));
+    bench::JsonLine("fig11_memcached")
+        .num("state_mb", mb)
+        .num("checkpoint_bytes", blob_size)
+        .num("two_phase_ns", elapsed)
+        .emit();
   }
   std::printf("\n");
   return 0;

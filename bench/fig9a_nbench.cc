@@ -32,6 +32,13 @@ int main() {
                 bench::us(native), static_cast<double>(intel) / native,
                 static_cast<double>(ours) / native,
                 static_cast<unsigned long long>(checksum));
+    bench::JsonLine("fig9a_nbench")
+        .str("kernel", k.name)
+        .num("native_ns", native)
+        .num("intel_sdk_ns", intel)
+        .num("our_sdk_ns", ours)
+        .num("checksum", checksum)
+        .emit();
   }
   std::printf(
       "\nNote: String Sort's blow-up is EPC/MEE pressure from large,\n"

@@ -44,6 +44,11 @@ int main() {
     std::printf("%-10s %14.1f %14.1f %10.4f\n", w.name.c_str(),
                 bench::us(elapsed[0]), bench::us(elapsed[1]),
                 static_cast<double>(elapsed[1]) / elapsed[0]);
+    bench::JsonLine("fig9b_migration_support")
+        .str("app", w.name)
+        .num("no_support_ns", elapsed[0])
+        .num("with_support_ns", elapsed[1])
+        .emit();
   }
   std::printf("\n");
   return 0;

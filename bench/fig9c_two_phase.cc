@@ -61,6 +61,10 @@ int main() {
       }
     });
     std::printf("%10d %28.1f\n", n, bench::us(total_ns / n));
+    bench::JsonLine("fig9c_two_phase")
+        .num("enclaves", n)
+        .num("avg_two_phase_ns", total_ns / n)
+        .emit();
   }
   std::printf("\n");
   return 0;

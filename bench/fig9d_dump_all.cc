@@ -37,6 +37,10 @@ int main() {
       elapsed = ctx.now() - t0;
     });
     std::printf("%10d %26.1f\n", n, bench::us(elapsed));
+    bench::JsonLine("fig9d_dump_all")
+        .num("enclaves", n)
+        .num("dump_all_ns", elapsed)
+        .emit();
   }
   std::printf("\n");
   return 0;

@@ -2,10 +2,26 @@
 
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/serde.h"
 
 namespace mig::hv {
+
+void MigrationReport::publish_metrics(const char* prefix) const {
+  if (!obs::metrics_enabled()) return;
+  auto& m = obs::metrics();
+  std::string p(prefix);
+  m.set_gauge(p + ".success", success ? 1 : 0);
+  m.set_gauge(p + ".total_ns", total_ns);
+  m.set_gauge(p + ".downtime_ns", downtime_ns);
+  m.set_gauge(p + ".transferred_bytes", transferred_bytes);
+  m.set_gauge(p + ".rounds", rounds);
+  m.set_gauge(p + ".enclave_prepare_ns", enclave_prepare_ns);
+  m.set_gauge(p + ".enclave_restore_ns", enclave_restore_ns);
+  m.set_gauge(p + ".enclave_extra_bytes", enclave_extra_bytes);
+}
 
 namespace {
 
@@ -59,6 +75,9 @@ uint64_t LiveMigrationEngine::wire_ns(uint64_t bytes) const {
 void LiveMigrationEngine::abort_source(sim::ThreadCtx& ctx, Vm& vm,
                                        sim::Channel::End& link,
                                        bool vm_stopped) {
+  obs::instant(ctx, "migration.abort", "hv",
+               {{"side", "source"}, {"vm_stopped", vm_stopped}});
+  obs::metrics().add("hv.aborts");
   // Best effort: a severed link simply drops this.
   link.send(ctx, msg(Tag::kAbort));
   if (vm_stopped) {
@@ -75,6 +94,8 @@ void LiveMigrationEngine::abort_source(sim::ThreadCtx& ctx, Vm& vm,
 Result<MigrationReport> LiveMigrationEngine::migrate_source(
     sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End link) {
   MigrationReport report;
+  obs::Span<sim::ThreadCtx> whole(ctx, "migrate_source", "hv",
+                                  {{"used_pages", vm.used_pages()}});
   const uint64_t page = cost_->page_size;
   uint64_t start = ctx.now();
   uint64_t dirty = vm.used_pages();  // round 0 sends everything in use
@@ -92,6 +113,10 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   // by retransmission; anything else fails the round.
   auto send_round_acked = [&](uint64_t pages, uint64_t extra) -> Status {
     uint64_t bytes = pages * page + extra;
+    obs::Span<sim::ThreadCtx> round_span(
+        ctx, "precopy_round", "hv",
+        {{"round", report.rounds}, {"pages", pages}, {"bytes", bytes}});
+    obs::metrics().observe("hv.round_bytes", bytes);
     for (uint64_t attempt = 0;; ++attempt) {
       link.send_sized(ctx, msg(Tag::kRound, pages, extra), bytes);
       report.transferred_bytes += bytes;
@@ -107,6 +132,8 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
           attempt >= params_.max_ack_retries) {
         return p.status();
       }
+      obs::instant(ctx, "precopy.retry", "hv", {{"attempt", attempt}});
+      obs::metrics().add("hv.precopy.retries");
       ctx.sleep(params_.retry_backoff_ns << attempt);
     }
   };
@@ -131,7 +158,11 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   uint64_t record_bytes = 0;
   if (vm.hooks() != nullptr) {
     uint64_t prep_start = ctx.now();
+    obs::Span<sim::ThreadCtx> prep_span(
+        ctx, "prepare_enclaves", "hv",
+        {{"enclaves", vm.hooks()->enclave_count()}});
     Result<uint64_t> prep = vm.hooks()->prepare_enclaves_for_migration(ctx);
+    prep_span.finish({{"ok", prep.ok()}});
     if (!prep.ok()) {
       // Partial prepares (some enclaves froze before one refused) are undone
       // by the cancel hook inside abort_source.
@@ -181,6 +212,9 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
 
   // --- stop-and-copy ---
   uint64_t stop_time = ctx.now();
+  obs::Span<sim::ThreadCtx> stop_span(
+      ctx, "stop_and_copy", "hv",
+      {{"pages", dirty}, {"record_bytes", record_bytes}});
   vm.set_running(false);
   ctx.work_atomic(cost_->vm_stop_resume_ns / 2);  // pause + device save
   uint64_t final_bytes = dirty * page + record_bytes;
@@ -203,6 +237,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     // the Kmigrate commit point still guarantees at most one live enclave:
     // the cancel below races the key handshake through the control-thread
     // mailbox, and whichever wins decides the survivor.
+    stop_span.finish({{"outcome", "abort"}});
     abort_source(ctx, vm, link, /*vm_stopped=*/true);
     if (!p.ok()) return p.status();
     if (p->tag == Tag::kAbort)
@@ -210,6 +245,8 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     return Error(ErrorCode::kInternal, "no resume ack");
   }
   if (p->tag == Tag::kResumeAck) report.downtime_ns = p->a - stop_time;
+  obs::instant(ctx, "resume_ack", "hv", {{"downtime_ns", report.downtime_ns}});
+  stop_span.finish({{"downtime_ns", report.downtime_ns}});
   // else: the resume ack itself was lost, but a kRestoreDone arriving in its
   // place proves the target resumed and finished restoring — the migration
   // committed; do not roll back a VM that is live elsewhere. (Downtime is
@@ -220,6 +257,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   // failures surface as status and the per-enclave commit point (was
   // Kmigrate delivered?) decides each enclave's fate.
   if (vm.hooks() != nullptr) {
+    obs::Span<sim::ThreadCtx> wait_span(ctx, "wait_restore_report", "hv");
     Result<Parsed> d = p->tag == Tag::kRestoreDone
                            ? p
                            : recv_parsed(ctx.now() + params_.restore_timeout_ns);
@@ -232,12 +270,18 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   }
   report.total_ns = ctx.now() - start;
   report.success = true;
+  obs::metrics().add("hv.rounds", report.rounds);
+  obs::metrics().add("hv.transferred_bytes", report.transferred_bytes);
+  report.publish_metrics("migration");
+  whole.finish({{"rounds", report.rounds},
+                {"transferred_bytes", report.transferred_bytes}});
   return report;
 }
 
 Result<MigrationReport> LiveMigrationEngine::migrate_target(
     sim::ThreadCtx& ctx, Vm& vm, sim::Channel::End link) {
   MigrationReport report;
+  obs::Span<sim::ThreadCtx> whole(ctx, "migrate_target", "hv");
   uint64_t start = ctx.now();
   for (;;) {
     std::optional<Bytes> m =
@@ -271,9 +315,12 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
     vm.set_running(true);
     uint64_t resume_time = ctx.now();
     link.send(ctx, msg(Tag::kResumeAck, resume_time));
+    obs::instant(ctx, "vm.resumed", "hv");
     // Enclave rebuild/restore happens with the VM already live.
     if (vm.hooks() != nullptr) {
+      obs::Span<sim::ThreadCtx> restore_span(ctx, "resume_enclaves", "hv");
       Result<uint64_t> restore = vm.hooks()->resume_enclaves_after_migration(ctx);
+      restore_span.finish({{"ok", restore.ok()}});
       if (!restore.ok()) {
         link.send(ctx, msg(Tag::kRestoreDone, 0, /*error=*/1));
         return restore.status();
@@ -284,6 +331,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
     report.downtime_ns = 0;  // target does not observe source stop time
     report.total_ns = ctx.now() - start;
     report.success = true;
+    report.publish_metrics("migration.target");
     return report;
   }
 }

@@ -50,6 +50,11 @@ struct MigrationReport {
   uint64_t enclave_prepare_ns = 0;  // Fig. 9(d): suspend-all-enclaves time
   uint64_t enclave_restore_ns = 0;  // Fig. 10(a): rebuild+restore on target
   uint64_t enclave_extra_bytes = 0; // checkpoints + records in VM memory
+
+  // Folds every field into the metrics registry as `<prefix>.<field>` gauges
+  // so that engine-level numbers, trace-derived numbers and bench output all
+  // come from one source. No-op while metrics are disabled.
+  void publish_metrics(const char* prefix) const;
 };
 
 // Runs the source half of a migration on the calling sim thread and the

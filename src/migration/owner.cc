@@ -3,6 +3,8 @@
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/serde.h"
 
 namespace mig::migration {
@@ -22,11 +24,15 @@ Bytes EnclaveOwner::kencrypt_for(const crypto::Digest& mrenclave) {
 
 void EnclaveOwner::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
   Bytes request = end.recv(ctx);
+  obs::Span<sim::ThreadCtx> span(ctx, "owner.serve", "migration");
+  obs::metrics().add("migration.owner_requests");
   Reader r(request);
   std::string verb = r.str();
   Bytes dh_pub_e = r.bytes();
   Bytes quote_wire = r.bytes();
   auto refuse = [&](std::string why) {
+    obs::instant(ctx, "owner.refused", "migration", {{"why", why}});
+    obs::metrics().add("migration.owner_refusals");
     Writer w;
     w.str("REFUSED:" + why);
     w.bytes({});
@@ -63,6 +69,7 @@ void EnclaveOwner::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
     return refuse("unknown verb");
   }
   audit_.push_back(AuditEntry{verb, verdict.mrenclave, ctx.now()});
+  obs::instant(ctx, "owner.granted", "migration", {{"verb", verb}});
 
   ctx.work(sim::default_cost_model().dh_keygen_ns +
            sim::default_cost_model().dh_shared_ns);

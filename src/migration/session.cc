@@ -1,5 +1,7 @@
 #include "migration/session.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -10,18 +12,25 @@ namespace mig::migration {
 Result<Bytes> EnclaveMigrator::prepare(sim::ThreadCtx& ctx,
                                        sdk::EnclaveHost& host,
                                        const EnclaveMigrateOptions& opts) {
+  obs::Span<sim::ThreadCtx> span(ctx, "two_phase_checkpoint", "migration");
   host.begin_parking();
   sdk::ControlCmd cmd;
   cmd.type = sdk::ControlCmd::Type::kPrepareCheckpoint;
   cmd.cipher = opts.cipher;
   sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
   MIG_RETURN_IF_ERROR(reply.status);
+  if (obs::active()) {
+    span.finish({{"checkpoint_bytes", reply.blob.size()}});
+    obs::metrics().add("migration.checkpoints");
+    obs::metrics().observe("migration.checkpoint_bytes", reply.blob.size());
+  }
   return std::move(reply.blob);
 }
 
 Status EnclaveMigrator::deliver_key_to_agent(
     sim::ThreadCtx& ctx, sdk::EnclaveInstance& source_instance,
     sdk::ControlMailbox& agent_mailbox) {
+  obs::Span<sim::ThreadCtx> span(ctx, "agent_key_delivery", "migration");
   auto channel = world_->make_channel();
   // Two concurrent parties: source control serves, agent control fetches.
   struct Outcome {
@@ -53,13 +62,20 @@ Status EnclaveMigrator::restore(
     sim::ThreadCtx& ctx, sdk::EnclaveHost& host, hv::Machine& source_machine,
     std::unique_ptr<sdk::EnclaveInstance>& source_instance, Bytes checkpoint,
     const EnclaveMigrateOptions& opts) {
+  obs::Span<sim::ThreadCtx> span(
+      ctx, "restore.enclave", "migration",
+      {{"via_agent", opts.agent != nullptr}});
   // Without an agent the key can only come from the source enclave itself;
   // if a concurrent abort already disposed of it, there is nothing to do.
   if (opts.agent == nullptr && source_instance == nullptr)
     return Error(ErrorCode::kAborted, "source enclave is gone");
   // Step-1: virgin enclave from the same image, on the guest's current
   // (target) machine.
-  MIG_RETURN_IF_ERROR(host.create(ctx));
+  {
+    obs::Span<sim::ThreadCtx> create_span(ctx, "restore.create_enclave",
+                                          "migration");
+    MIG_RETURN_IF_ERROR(host.create(ctx));
+  }
   // create() slept in the driver; re-check (a source-side cancel may have
   // raced us and taken the instance).
   if (opts.agent == nullptr && source_instance == nullptr)
@@ -109,8 +125,12 @@ Status EnclaveMigrator::restore(
   MIG_RETURN_IF_ERROR(restored.status);
 
   // Step-3 (cont.): the untrusted library replays EENTER/AEX to pump CSSA.
-  for (const sdk::PumpPlan& plan : restored.pumps) {
-    MIG_RETURN_IF_ERROR(host.pump_cssa(ctx, plan.worker_idx, plan.pumps));
+  {
+    obs::Span<sim::ThreadCtx> pump_span(ctx, "cssa_replay", "migration",
+                                        {{"workers", restored.pumps.size()}});
+    for (const sdk::PumpPlan& plan : restored.pumps) {
+      MIG_RETURN_IF_ERROR(host.pump_cssa(ctx, plan.worker_idx, plan.pumps));
+    }
   }
   // Step-4: in-enclave verification of the restored CSSA; SSA rebuild.
   sdk::ControlCmd finish;
@@ -118,6 +138,7 @@ Status EnclaveMigrator::restore(
   MIG_RETURN_IF_ERROR(host.mailbox().post(ctx, finish).status);
 
   host.finish_migration(ctx, restored.pumps);
+  obs::metrics().add("migration.restores");
 
   if (opts.leave_source_alive) {
     // Fork-attack simulation: the malicious operator keeps the source
@@ -303,6 +324,7 @@ void VmMigrationSession::cleanup_failed_restore(sim::ThreadCtx& ctx,
 
 Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
                                           guestos::Process* p) {
+  obs::Span<sim::ThreadCtx> span(ctx, "cancel_migration", "migration");
   Status first = OkStatus();
   for (ManagedEnclave& m : managed_[p]) {
     if (m.fate != ManagedEnclave::Fate::kPending) continue;
@@ -330,6 +352,7 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
     if (st.ok()) {
       // Kmigrate deleted before it was served: the source enclave survives
       // and any checkpoint already shipped is ciphertext without a key.
+      obs::instant(ctx, "fate.cancelled", "migration");
       m.fate = ManagedEnclave::Fate::kCancelled;
       m.checkpoint.clear();
       if (detached && host.instance() == nullptr && !m.restore_started) {
@@ -348,6 +371,7 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
     if (st.code() == ErrorCode::kAborted) {
       // Kmigrate already served: the source self-destroyed and the target
       // owns the enclave now (or will, if its restore is still running).
+      obs::instant(ctx, "fate.committed", "migration");
       m.fate = ManagedEnclave::Fate::kCommitted;
       if (host.instance() == nullptr && !m.restore_started) {
         // No target instance bound and no restore in flight — nothing usable
@@ -368,6 +392,8 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
 }
 
 Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
+  obs::Span<sim::ThreadCtx> span(ctx, "vm_migration_session", "migration",
+                                 {{"use_agent", opts_.use_agent}});
   if (opts_.use_agent) {
     MIG_CHECK_MSG(opts_.target_host_os != nullptr,
                   "use_agent requires a target host environment");

@@ -1,0 +1,240 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mig::obs {
+
+const Json* Json::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+Json Json::make_bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::make_number(double d) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = d;
+  return j;
+}
+
+Json Json::make_integer(uint64_t v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = static_cast<double>(v);
+  j.u64_ = v;
+  j.is_int_ = true;
+  return j;
+}
+
+Json Json::make_string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::make_array(std::vector<Json> items) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.arr_ = std::move(items);
+  return j;
+}
+
+Json Json::make_object(std::map<std::string, Json> fields) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.obj_ = std::move(fields);
+  return j;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> run() {
+    MIG_ASSIGN_OR_RETURN(Json v, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing data after document");
+    return v;
+  }
+
+ private:
+  Status err(const std::string& what) const {
+    return Error(ErrorCode::kInvalidArgument,
+                 "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      MIG_ASSIGN_OR_RETURN(std::string s, parse_string());
+      return Json::make_string(std::move(s));
+    }
+    if (consume_word("null")) return Json::make_null();
+    if (consume_word("true")) return Json::make_bool(true);
+    if (consume_word("false")) return Json::make_bool(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return err("unexpected character");
+  }
+
+  Result<Json> parse_number() {
+    size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    std::string lit(text_.substr(start, pos_ - start));
+    if (lit.empty() || lit == "-") return err("malformed number");
+    if (integral && lit[0] != '-') {
+      return Json::make_integer(std::strtoull(lit.c_str(), nullptr, 10));
+    }
+    return Json::make_number(std::strtod(lit.c_str(), nullptr));
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return err("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return err("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return err("bad \\u escape");
+            }
+            // Our emitters only escape control characters; encode the code
+            // point as UTF-8 for completeness.
+            if (v < 0x80) {
+              out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              out += static_cast<char>(0xc0 | (v >> 6));
+              out += static_cast<char>(0x80 | (v & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (v >> 12));
+              out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (v & 0x3f));
+            }
+            break;
+          }
+          default:
+            return err("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<Json> parse_array() {
+    if (!consume('[')) return err("expected array");
+    std::vector<Json> items;
+    skip_ws();
+    if (consume(']')) return Json::make_array(std::move(items));
+    while (true) {
+      MIG_ASSIGN_OR_RETURN(Json v, parse_value());
+      items.push_back(std::move(v));
+      skip_ws();
+      if (consume(']')) return Json::make_array(std::move(items));
+      if (!consume(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> parse_object() {
+    if (!consume('{')) return err("expected object");
+    std::map<std::string, Json> fields;
+    skip_ws();
+    if (consume('}')) return Json::make_object(std::move(fields));
+    while (true) {
+      skip_ws();
+      MIG_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      MIG_ASSIGN_OR_RETURN(Json v, parse_value());
+      fields.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (consume('}')) return Json::make_object(std::move(fields));
+      if (!consume(',')) return err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace mig::obs

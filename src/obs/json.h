@@ -1,0 +1,70 @@
+// Minimal JSON reader used by the observability tests and the trace schema
+// checker. Parses the full JSON grammar into a small value tree; this is a
+// consumer for our own deterministic emitters (trace/metrics/bench lines),
+// not a general-purpose library — numbers are stored as double plus the raw
+// integer when the literal was integral, which is enough to round-trip the
+// u64 counters we emit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mig::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  // Valid when the literal was integral and non-negative (our emitters only
+  // produce such numbers for counters/byte totals).
+  uint64_t as_u64() const { return u64_; }
+  bool is_integer() const { return is_int_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Json>& items() const { return arr_; }
+  const std::map<std::string, Json>& fields() const { return obj_; }
+
+  // Object lookup; returns nullptr when absent or not an object.
+  const Json* get(std::string_view key) const;
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+
+  // Parses one JSON document; trailing non-whitespace is an error.
+  static Result<Json> parse(std::string_view text);
+
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool b);
+  static Json make_number(double d);
+  static Json make_integer(uint64_t v);
+  static Json make_string(std::string s);
+  static Json make_array(std::vector<Json> items);
+  static Json make_object(std::map<std::string, Json> fields);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  uint64_t u64_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace mig::obs

@@ -1,0 +1,4 @@
+// Module anchor; real sources accompany it.
+namespace mig {
+const char* k_obs_module = "obs";
+}  // namespace mig

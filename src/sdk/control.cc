@@ -5,6 +5,8 @@
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sdk/builder.h"
 #include "util/check.h"
 #include "util/serde.h"
@@ -290,7 +292,13 @@ class ControlEngine {
     Bytes kmigrate = deps_->rng.generate(32);
     env_->write_bytes(kOffKmigrate, kmigrate);
     env_->write_u64(kOffKeyServed, 0);
-    reach_quiescent_point();
+    {
+      obs::Span<sim::ThreadCtx> quiesce_span(env_->ctx(), "checkpoint.quiesce",
+                                             "sdk");
+      reach_quiescent_point();
+    }
+    obs::Span<sim::ThreadCtx> dump_span(env_->ctx(), "checkpoint.dump_seal",
+                                        "sdk");
     auto c = capture();
     if (!c.ok()) return fail(c.status().code(), c.status().message());
     ControlReply reply;
@@ -329,6 +337,7 @@ class ControlEngine {
 
   // ---- kServeKey (source role, §V-B) ----------------------------------------
   ControlReply serve_key(ControlCmd& cmd) {
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "key_handshake.serve", "sdk");
     if (!cmd.channel.has_value())
       return fail(ErrorCode::kInvalidArgument, "no channel");
     if (self_destroyed() || env_->read_u64(kOffKeyServed) == 1) {
@@ -442,6 +451,9 @@ class ControlEngine {
     // stays set forever, so any worker the OS resumes spins forever.
     env_->write_u64(kOffKeyServed, 1);
     env_->write_u64(kOffSelfDestroyed, 1);
+    obs::instant(env_->ctx(), "key_handoff", "sdk",
+                 {{"recipient", developer_agent ? "agent" : "target"}});
+    obs::metrics().add("sdk.keys_served");
     return {};
   }
 
@@ -499,6 +511,7 @@ class ControlEngine {
   Result<Bytes> key_from_source(sim::Channel::End& ch, uint64_t timeout_ns,
                                 bool check_source_mre = true,
                                 crypto::Digest* source_mre_out = nullptr) {
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "key_handshake.fetch", "sdk");
     env_->work(env_->cost().dh_keygen_ns);
     crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
     Bytes dh_pub_t = kp.pub.to_bytes_padded(128);
@@ -554,6 +567,7 @@ class ControlEngine {
   }
 
   Result<Bytes> key_from_agent(AgentPort& agent) {
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "key_handshake.agent", "sdk");
     env_->work(env_->cost().local_attest_dh_ns);
     crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
     Bytes dh_pub = kp.pub.to_bytes_padded(128);
@@ -779,6 +793,28 @@ class ControlEngine {
 
 }  // namespace
 
+namespace {
+
+const char* cmd_name(ControlCmd::Type t) {
+  switch (t) {
+    case ControlCmd::Type::kProvision: return "ctl.provision";
+    case ControlCmd::Type::kPrepareCheckpoint: return "ctl.prepare_checkpoint";
+    case ControlCmd::Type::kServeKey: return "ctl.serve_key";
+    case ControlCmd::Type::kCancelMigration: return "ctl.cancel_migration";
+    case ControlCmd::Type::kRestore: return "ctl.restore";
+    case ControlCmd::Type::kFinishRestore: return "ctl.finish_restore";
+    case ControlCmd::Type::kOwnerCheckpoint: return "ctl.owner_checkpoint";
+    case ControlCmd::Type::kOwnerRestore: return "ctl.owner_restore";
+    case ControlCmd::Type::kAgentFetchKey: return "ctl.agent_fetch_key";
+    case ControlCmd::Type::kAgentServeLocal: return "ctl.agent_serve_local";
+    case ControlCmd::Type::kNaiveDump: return "ctl.naive_dump";
+    case ControlCmd::Type::kShutdown: return "ctl.shutdown";
+  }
+  return "ctl.unknown";
+}
+
+}  // namespace
+
 void control_thread_main(EnclaveEnv& env, ControlMailbox& mailbox,
                          ControlDeps& deps) {
   ControlEngine engine(env, deps);
@@ -788,7 +824,10 @@ void control_thread_main(EnclaveEnv& env, ControlMailbox& mailbox,
       mailbox.reply(env.ctx(), {});
       return;
     }
+    obs::Span<sim::ThreadCtx> span(env.ctx(), cmd_name(cmd.type), "sdk");
     ControlReply reply = engine.handle(cmd);
+    obs::metrics().add("sdk.control_cmds");
+    span.finish({{"ok", reply.status.ok()}});
     mailbox.reply(env.ctx(), std::move(reply));
   }
 }

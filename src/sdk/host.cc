@@ -1,5 +1,7 @@
 #include "sdk/host.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -117,10 +119,12 @@ class EnclaveRuntime {
   // unset." AEX points let the timer interrupt long spins (and park the
   // thread during migration).
   void spin_wait(CtxKind kind) {
+    obs::instant(env_.ctx(), "spin.enter", "sdk", {{"worker", widx_}});
     while (env_.read_u64(kOffGlobalFlag) == 1) {
       env_.work(kSpinPollNs);
       env_.aex_point(kind);
     }
+    obs::instant(env_.ctx(), "spin.exit", "sdk", {{"worker", widx_}});
   }
 
   Result<Bytes> dispatch() {
@@ -246,6 +250,8 @@ Status EnclaveHost::pump_cssa(sim::ThreadCtx& ctx, uint64_t worker_idx,
   if (inst == nullptr) return Error(ErrorCode::kUnavailable, "no instance");
   HostThread& ht = workers_[worker_idx];
   uint64_t tcs = kEnclaveBase + built_.layout.tcs_offset(worker_idx);
+  obs::Span<sim::ThreadCtx> span(ctx, "cssa_pump", "sdk",
+                                 {{"worker", worker_idx}, {"pumps", pumps}});
   for (uint64_t i = 0; i < pumps; ++i) {
     auto rax = inst->machine->hw().eenter(ctx, ht.core, inst->eid, tcs);
     MIG_RETURN_IF_ERROR(rax.status());
@@ -256,6 +262,7 @@ Status EnclaveHost::pump_cssa(sim::ThreadCtx& ctx, uint64_t worker_idx,
       return Error(ErrorCode::kFailedPrecondition, "enclave not in pump mode");
     } catch (const AexSignal&) {
       // Expected: one EENTER+AEX cycle == CSSA += 1.
+      obs::metrics().add("sdk.cssa_pumps");
     }
   }
   return OkStatus();
@@ -299,7 +306,10 @@ Result<Bytes> EnclaveHost::dispatch_loop(sim::ThreadCtx& ctx,
     if (parked_ && (next == Next::kFresh || park_ready ||
                     instance_.get() == nullptr ||
                     instance_.get() != chain_inst)) {
+      obs::instant(ctx, "worker.park", "sdk", {{"worker", worker_idx}});
+      obs::metrics().add("sdk.parks");
       migration_done_->wait(ctx);
+      obs::instant(ctx, "worker.unpark", "sdk", {{"worker", worker_idx}});
       park_ready = false;
       continue;
     }
@@ -334,6 +344,8 @@ Result<Bytes> EnclaveHost::dispatch_loop(sim::ThreadCtx& ctx,
           MIG_RETURN_IF_ERROR(hw.eexit(ctx, ht.core));
           return result;
         } catch (const AexSignal&) {
+          obs::instant(ctx, "aex", "sdk", {{"worker", worker_idx}});
+          obs::metrics().add("sdk.aex");
           ht.believed_cssa += 1;
           next = Next::kAfterAex;
           handler_tried = false;
@@ -363,6 +375,8 @@ Result<Bytes> EnclaveHost::dispatch_loop(sim::ThreadCtx& ctx,
             // The thread AEX'd while spinning: it is now outside the
             // enclave with CSSA = CSSA_EENTER + 1 and local flag spin —
             // safe to park. believed_cssa mirrors the extra frame.
+            obs::instant(ctx, "aex", "sdk", {{"worker", worker_idx}});
+            obs::metrics().add("sdk.aex");
             ht.believed_cssa += 1;
             next = Next::kResumeChain;
             park_ready = true;
@@ -417,6 +431,8 @@ Result<Bytes> EnclaveHost::dispatch_loop(sim::ThreadCtx& ctx,
             }
           }
         } catch (const AexSignal&) {
+          obs::instant(ctx, "aex", "sdk", {{"worker", worker_idx}});
+          obs::metrics().add("sdk.aex");
           ht.believed_cssa += 1;
           next = Next::kAfterAex;
           // A spin that AEX'd again should not re-enter the handler (that

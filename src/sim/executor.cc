@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mig::sim {
 
 namespace {
@@ -162,11 +164,24 @@ bool Executor::run() {
 
 bool Executor::run_until(uint64_t deadline_ns) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Scheduling stats fold into the metrics registry when the run ends, so a
+  // traced capture carries the executor's view of the same interval.
+  auto publish = [&] {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    m.set_gauge("sim.slices", stats_.slices);
+    m.set_gauge("sim.preemptions", stats_.preemptions);
+    m.set_gauge("sim.now_ns", sched_now_);
+    m.set_gauge("sim.threads", threads_.size());
+  };
   for (;;) {
-    if (drained_locked()) return true;
-    if (sched_now_ >= deadline_ns) return true;
+    if (drained_locked() || sched_now_ >= deadline_ns) {
+      publish();
+      return true;
+    }
     if (!step_locked(lock)) {
       // Non-daemon threads remain but nothing is runnable: a hang.
+      publish();
       return false;
     }
   }

@@ -62,7 +62,10 @@ void FaultPlan::install(Pipe& pipe) const {
               fd.extra_delay_ns += rule.extra_delay_ns;
               break;
             case Action::kCorrupt:
-              if (!m.empty()) m[std::min(rule.corrupt_offset, m.size() - 1)] ^= 0x40;
+              if (!m.empty()) {
+                m[std::min(rule.corrupt_offset, m.size() - 1)] ^= 0x40;
+                fd.corrupted = true;
+              }
               break;
           }
         }

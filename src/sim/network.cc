@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mig::sim {
 
 void Pipe::send(ThreadCtx& sender, Bytes message) {
@@ -13,9 +16,33 @@ void Pipe::send_sized(ThreadCtx& sender, Bytes message, uint64_t virtual_bytes) 
   FaultDecision fd;
   if (fault_hook_) fd = fault_hook_(++sends_attempted_, message);
   if (fd.sever) severed_ = true;
+  if (obs::active()) {
+    if (fd.sever) {
+      obs::instant(sender, "fault.sever", "net");
+      obs::metrics().add("sim.faults.injected");
+    }
+    if (fd.corrupted) {
+      obs::instant(sender, "fault.corrupt", "net");
+      obs::metrics().add("sim.faults.injected");
+    }
+    if (fd.extra_delay_ns != 0) {
+      obs::instant(sender, "fault.delay", "net",
+                   {{"extra_delay_ns", fd.extra_delay_ns}});
+      obs::metrics().add("sim.faults.injected");
+    }
+  }
   // Dropped messages never touch the link: no bandwidth is consumed and
   // link_free_ns_ does not advance.
-  if (severed_ || fd.drop) return;
+  if (severed_ || fd.drop) {
+    if (obs::active()) {
+      if (fd.drop) {
+        obs::instant(sender, "fault.drop", "net");
+        obs::metrics().add("sim.faults.injected");
+      }
+      obs::metrics().add("net.msgs_dropped");
+    }
+    return;
+  }
   uint64_t size = std::max<uint64_t>(message.size(), virtual_bytes);
   // Serialization on the link: transmission starts when both the sender is
   // ready and the link has drained the previous message.
@@ -25,6 +52,13 @@ void Pipe::send_sized(ThreadCtx& sender, Bytes message, uint64_t virtual_bytes) 
   link_free_ns_ = tx_start + tx_ns;
   bytes_sent_ += size;
   ++messages_sent_;
+  if (obs::metrics_enabled()) {
+    auto& m = obs::metrics();
+    m.add("net.bytes_sent", size);
+    m.add("net.msgs_sent");
+    m.observe("net.msg_bytes", size);
+    m.observe("net.delivery_ns", arrival - sender.now());
+  }
   queue_.push_back(InFlight{arrival, std::move(message)});
   event_.set(sender);
 }

@@ -66,6 +66,7 @@ class Pipe {
   struct FaultDecision {
     bool drop = false;            // lose this message silently
     bool sever = false;           // the link dies as this send starts
+    bool corrupted = false;       // hook tampered with the payload (obs only)
     uint64_t extra_delay_ns = 0;  // added to this message's arrival time
   };
   // `msg_index` counts send attempts on this pipe, starting at 1.

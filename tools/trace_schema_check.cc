@@ -1,0 +1,211 @@
+// Schema checker for the observability layer's JSON emissions. Validates
+// Chrome trace-event files (TraceRecorder::chrome_json) and metrics dumps
+// (MetricsRegistry::json) beyond "it parses": required keys, value types,
+// per-thread span balance, monotone virtual clocks, histogram invariants.
+// The `obs_trace_schema` ctest target runs it on files produced by
+// mig_trace_migration; it is also usable standalone:
+//
+//   mig_schema_check trace.json metrics.json ...
+//
+// File kind is auto-detected from the top-level keys. Exit 0 iff every file
+// passes; failures print one line each to stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using mig::obs::Json;
+
+// Collects problems instead of stopping at the first, so one run shows
+// everything wrong with a file.
+struct Report {
+  std::string file;
+  std::vector<std::string> problems;
+  void fail(const std::string& what) { problems.push_back(what); }
+};
+
+bool is_u64(const Json* j) { return j != nullptr && j->is_integer(); }
+
+void check_trace(const Json& root, Report& rep) {
+  const Json* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    rep.fail("missing traceEvents array");
+    return;
+  }
+  std::map<uint64_t, std::vector<std::string>> stacks;
+  std::map<uint64_t, double> last_ts;
+  size_t idx = 0;
+  for (const Json& e : events->items()) {
+    std::string at = "event #" + std::to_string(idx++);
+    if (!e.is_object()) {
+      rep.fail(at + ": not an object");
+      continue;
+    }
+    const Json* ph = e.get("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      rep.fail(at + ": bad ph");
+      continue;
+    }
+    char kind = ph->as_string()[0];
+    if (kind != 'M' && kind != 'B' && kind != 'E' && kind != 'i') {
+      rep.fail(at + ": unknown ph '" + ph->as_string() + "'");
+      continue;
+    }
+    if (!is_u64(e.get("pid"))) rep.fail(at + ": missing integer pid");
+    if (!is_u64(e.get("tid"))) {
+      rep.fail(at + ": missing integer tid");
+      continue;
+    }
+    uint64_t tid = e.get("tid")->as_u64();
+    const Json* name = e.get("name");
+    const Json* args = e.get("args");
+    if (args != nullptr && !args->is_object())
+      rep.fail(at + ": args is not an object");
+
+    if (kind == 'M') {
+      if (name == nullptr || name->as_string() != "thread_name") {
+        rep.fail(at + ": metadata event is not thread_name");
+      } else if (args == nullptr || args->get("name") == nullptr ||
+                 !args->get("name")->is_string()) {
+        rep.fail(at + ": thread_name without args.name");
+      }
+      continue;
+    }
+    const Json* ts = e.get("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      rep.fail(at + ": missing ts");
+      continue;
+    }
+    auto last = last_ts.find(tid);
+    if (last != last_ts.end() && ts->as_double() < last->second)
+      rep.fail(at + ": virtual clock went backwards on tid " +
+               std::to_string(tid));
+    last_ts[tid] = ts->as_double();
+
+    if (kind == 'i') {
+      const Json* scope = e.get("s");
+      if (scope == nullptr || scope->as_string() != "t")
+        rep.fail(at + ": instant without thread scope");
+    }
+    if ((kind == 'B' || kind == 'i') &&
+        (name == nullptr || !name->is_string() || name->as_string().empty()))
+      rep.fail(at + ": unnamed " + std::string(1, kind) + " event");
+    if (kind == 'B') {
+      stacks[tid].push_back(name != nullptr ? name->as_string() : "");
+    } else if (kind == 'E') {
+      auto& stack = stacks[tid];
+      if (stack.empty()) {
+        rep.fail(at + ": unmatched E on tid " + std::to_string(tid));
+      } else {
+        // The exporter back-fills each E's name from its B.
+        if (name != nullptr && name->is_string() && !name->as_string().empty()
+            && name->as_string() != stack.back())
+          rep.fail(at + ": E named '" + name->as_string() +
+                   "' closes span '" + stack.back() + "'");
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty())
+      rep.fail("tid " + std::to_string(tid) + ": " +
+               std::to_string(stack.size()) + " unclosed span(s), top '" +
+               stack.back() + "'");
+  }
+}
+
+void check_metrics(const Json& root, Report& rep) {
+  for (const char* section : {"counters", "gauges"}) {
+    const Json* m = root.get(section);
+    if (m == nullptr || !m->is_object()) {
+      rep.fail(std::string("missing ") + section + " object");
+      continue;
+    }
+    for (const auto& [key, value] : m->fields()) {
+      if (!value.is_integer())
+        rep.fail(std::string(section) + "." + key + ": not a u64");
+    }
+  }
+  const Json* hists = root.get("histograms");
+  if (hists == nullptr || !hists->is_object()) {
+    rep.fail("missing histograms object");
+    return;
+  }
+  for (const auto& [key, h] : hists->fields()) {
+    for (const char* field : {"count", "sum", "min", "max"}) {
+      if (!is_u64(h.get(field)))
+        rep.fail("histograms." + key + ": missing u64 " + field);
+    }
+    const Json* buckets = h.get("buckets");
+    if (buckets == nullptr || !buckets->is_object()) {
+      rep.fail("histograms." + key + ": missing buckets");
+      continue;
+    }
+    uint64_t total = 0;
+    for (const auto& [bkey, bval] : buckets->fields()) {
+      char* endp = nullptr;
+      unsigned long idx = std::strtoul(bkey.c_str(), &endp, 10);
+      if (endp == bkey.c_str() || *endp != '\0' ||
+          idx >= mig::obs::MetricsRegistry::kBuckets)
+        rep.fail("histograms." + key + ": bad bucket index '" + bkey + "'");
+      if (!bval.is_integer() || bval.as_u64() == 0)
+        rep.fail("histograms." + key + ": bucket " + bkey +
+                 " is empty or non-integral");
+      else
+        total += bval.as_u64();
+    }
+    if (is_u64(h.get("count")) && total != h.get("count")->as_u64())
+      rep.fail("histograms." + key + ": bucket counts sum to " +
+               std::to_string(total) + ", count says " +
+               std::to_string(h.get("count")->as_u64()));
+  }
+}
+
+bool check_file(const std::string& path) {
+  Report rep{path, {}};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto root = Json::parse(buf.str());
+  if (!root.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 root.status().to_string().c_str());
+    return false;
+  }
+  if (root->has("traceEvents")) {
+    check_trace(*root, rep);
+  } else if (root->has("counters")) {
+    check_metrics(*root, rep);
+  } else {
+    rep.fail("neither a trace (traceEvents) nor a metrics (counters) file");
+  }
+  for (const std::string& p : rep.problems)
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  if (rep.problems.empty())
+    std::printf("%s: OK\n", path.c_str());
+  return rep.problems.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json|metrics.json>...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok &= check_file(argv[i]);
+  return ok ? 0 : 1;
+}

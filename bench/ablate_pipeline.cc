@@ -1,0 +1,133 @@
+// Ablation: the pipelined chunked checkpoint data path (PR 3 tentpole).
+//
+// Sweeps sealing-worker count and chunk size for one ~2 MB enclave and
+// measures the full checkpoint data path in virtual time: quiesce + dump +
+// seal + stream every sealed byte to a receiver. The 1-worker baseline is
+// the legacy serial path (dump everything, one seal() over the whole blob,
+// then ship it); the pipelined rows overlap dump/seal/send with N sealing
+// workers contending for the world's 4 model CPUs.
+//
+// Expected trends:
+//   * 4 workers cut checkpoint time to well under 0.5x the serial baseline
+//     (the wire becomes the bottleneck once sealing is parallel);
+//   * 8 workers plateau — only 4 model CPUs exist;
+//   * tiny chunks pay per-chunk setup, huge chunks lose overlap; the middle
+//     of the sweep wins.
+#include "apps/workloads.h"
+#include "bench_common.h"
+#include "sdk/chunk_wire.h"
+
+namespace {
+
+mig::sdk::LayoutParams big_layout() {
+  mig::sdk::LayoutParams p;
+  p.num_workers = 2;
+  p.data_pages = 1;
+  p.heap_pages = 512;  // ~2 MB of heap: the default enclave for this ablation
+  return p;
+}
+
+struct Row {
+  const char* mode;  // "serial" or "pipeline"
+  uint64_t workers;
+  uint64_t chunk_kb;  // 0 for serial
+};
+
+// Runs one configuration in a fresh world and returns the virtual time from
+// the start of prepare until the receiver holds every checkpoint byte.
+uint64_t run_config(const Row& row) {
+  using namespace mig;
+  bench::Bed bed;
+  guestos::Process& proc = bed.guest.create_process("app");
+  sdk::EnclaveHost& host = bed.add_enclave(
+      proc, apps::find_workload("mcrypt")->make_program(), big_layout());
+
+  auto channel = bed.world.make_channel();
+  // The chunk stream models a raw bulk link, not the QEMU-processing-laden
+  // migration path.
+  channel->set_rate_x100(bed.world.cost().chunk_stream_ns_per_byte_x100);
+
+  uint64_t elapsed = 0;
+  bed.run([&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host.create(ctx).ok());
+    bed.provision(ctx, host);
+
+    struct Recv {
+      sim::Event done;
+      uint64_t end_ns = 0;
+      explicit Recv(sim::Executor& e) : done(e) {}
+    } recv(bed.world.executor());
+    bool pipelined = row.chunk_kb != 0;
+    ctx.executor().spawn("ckpt-recv", [&](sim::ThreadCtx& c) {
+      if (pipelined) {
+        auto blob = sdk::receive_chunked_checkpoint(c, channel->b(),
+                                                    10'000'000'000ull);
+        MIG_CHECK_MSG(blob.ok(), blob.status().to_string());
+      } else {
+        channel->b().recv(c);
+      }
+      recv.end_ns = c.now();
+      recv.done.set(c);
+    });
+
+    migration::EnclaveMigrateOptions opts;
+    opts.chunk_bytes = row.chunk_kb * 1024;
+    opts.seal_workers = row.workers;
+    sim::Channel::End a = channel->a();
+    if (pipelined) opts.chunk_stream = &a;
+
+    migration::EnclaveMigrator migrator(bed.world);
+    uint64_t t0 = ctx.now();
+    auto blob = migrator.prepare(ctx, host, opts);
+    MIG_CHECK_MSG(blob.ok(), blob.status().to_string());
+    if (!pipelined) channel->a().send(ctx, std::move(*blob));
+    recv.done.wait(ctx);
+    elapsed = recv.end_ns - t0;
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mig;
+  bench::print_header("Ablation: pipelined chunked checkpointing",
+                      "dump+seal+send time vs sealing workers and chunk size");
+
+  const Row rows[] = {
+      {"serial", 1, 0},      // legacy v1: the 1-worker baseline
+      {"pipeline", 1, 64},   // pipeline overhead with no parallelism
+      {"pipeline", 2, 64},
+      {"pipeline", 4, 64},
+      {"pipeline", 8, 64},   // > 4 model CPUs: should plateau
+      {"pipeline", 4, 16},
+      {"pipeline", 4, 256},
+  };
+
+  std::printf("%10s %8s %10s %16s %10s\n", "mode", "workers", "chunk(KB)",
+              "checkpoint(ms)", "vs serial");
+  uint64_t serial_ns = 0;
+  for (const Row& row : rows) {
+    uint64_t ns = run_config(row);
+    if (row.chunk_kb == 0) serial_ns = ns;
+    MIG_CHECK(serial_ns > 0);
+    std::printf("%10s %8llu %10llu %16.2f %9.2fx\n", row.mode,
+                static_cast<unsigned long long>(row.workers),
+                static_cast<unsigned long long>(row.chunk_kb), bench::ms(ns),
+                static_cast<double>(ns) / static_cast<double>(serial_ns));
+    bench::JsonLine("ablate_pipeline")
+        .str("mode", row.mode)
+        .num("workers", row.workers)
+        .num("chunk_kb", row.chunk_kb)
+        .num("checkpoint_ns", ns)
+        .num("serial_ns", serial_ns)
+        .num("ratio_x100", ns * 100 / serial_ns)
+        .emit();
+  }
+  std::printf(
+      "\nWith sealing parallelized the bulk link becomes the bottleneck: 4\n"
+      "workers land well under half the serial baseline, 8 workers add\n"
+      "nothing (4 model CPUs), and chunk size trades per-chunk setup cost\n"
+      "against pipeline overlap.\n\n");
+  return 0;
+}

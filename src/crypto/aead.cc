@@ -1,5 +1,8 @@
 #include "crypto/aead.h"
 
+#include <algorithm>
+#include <string>
+
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
@@ -151,6 +154,94 @@ Result<Bytes> open(ByteSpan key32, ByteSpan sealed) {
   if (!ct_equal(ByteSpan(h), ByteSpan(inner).subspan(inner.size() - 32)))
     return Error(ErrorCode::kIntegrityViolation, "inner hash mismatch");
   return plaintext;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked sealing.
+
+namespace {
+
+Bytes le64_bytes(uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+  return b;
+}
+
+// The root binds the chunk count and every per-chunk outer MAC, in index
+// order, under a key only the two session endpoints can derive.
+Digest compute_root(ByteSpan key32, const std::map<uint64_t, Digest>& macs) {
+  Bytes root_key = hkdf(to_bytes("mig-chunk-root"), key32, Bytes{}, 32);
+  Writer w;
+  w.u64(macs.size());
+  for (const auto& [index, mac] : macs) w.raw(mac);
+  return hmac_sha256(root_key, w.data());
+}
+
+// Indices must form exactly 0..n-1; std::map iteration is ordered, so it is
+// enough that the largest key is n-1.
+bool contiguous(const std::map<uint64_t, Digest>& macs) {
+  return macs.empty() || macs.rbegin()->first == macs.size() - 1;
+}
+
+Digest tag_of(ByteSpan sealed) {
+  Digest tag{};
+  std::copy(sealed.end() - 32, sealed.end(), tag.begin());
+  return tag;
+}
+
+}  // namespace
+
+Bytes chunk_key(ByteSpan key32, uint64_t index) {
+  MIG_CHECK(key32.size() == 32);
+  return hkdf(to_bytes("mig-chunk"), key32, le64_bytes(index), 32);
+}
+
+ChunkSealer::ChunkSealer(CipherAlg alg, ByteSpan key32)
+    : alg_(alg), key_(key32.begin(), key32.end()) {
+  MIG_CHECK(key_.size() == 32);
+}
+
+Result<Bytes> ChunkSealer::seal_chunk(uint64_t index, ByteSpan plaintext) {
+  if (macs_.count(index))
+    return Error(ErrorCode::kInvalidArgument,
+                 "chunk index reused within session: " + std::to_string(index));
+  Bytes sealed = seal(alg_, chunk_key(key_, index), plaintext);
+  macs_[index] = tag_of(sealed);
+  return sealed;
+}
+
+Result<Bytes> ChunkSealer::integrity_root() const {
+  if (!contiguous(macs_))
+    return Error(ErrorCode::kInvalidArgument,
+                 "chunk indices are not contiguous from 0");
+  Digest root = compute_root(key_, macs_);
+  return Bytes(root.begin(), root.end());
+}
+
+ChunkOpener::ChunkOpener(ByteSpan key32) : key_(key32.begin(), key32.end()) {
+  MIG_CHECK(key_.size() == 32);
+}
+
+Result<Bytes> ChunkOpener::open_chunk(uint64_t index, ByteSpan sealed) {
+  if (macs_.count(index))
+    return Error(ErrorCode::kInvalidArgument,
+                 "chunk index replayed within session: " + std::to_string(index));
+  if (sealed.size() < 1 + 4 + 32)
+    return Error(ErrorCode::kIntegrityViolation, "sealed chunk too short");
+  MIG_ASSIGN_OR_RETURN(Bytes plain, open(chunk_key(key_, index), sealed));
+  macs_[index] = tag_of(sealed);
+  return plain;
+}
+
+Status ChunkOpener::verify_root(uint64_t count, ByteSpan root) const {
+  if (macs_.size() != count || !contiguous(macs_))
+    return Error(ErrorCode::kIntegrityViolation,
+                 "chunk set incomplete: saw " + std::to_string(macs_.size()) +
+                     " of " + std::to_string(count));
+  Digest expect = compute_root(key_, macs_);
+  if (root.size() != 32 || !ct_equal(ByteSpan(expect), root))
+    return Error(ErrorCode::kIntegrityViolation, "integrity root mismatch");
+  return OkStatus();
 }
 
 }  // namespace mig::crypto

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
+#include "crypto/sha256.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -37,5 +39,65 @@ Bytes seal(CipherAlg alg, ByteSpan key32, ByteSpan plaintext);
 
 // Verifies and decrypts. Any bit flip anywhere => kIntegrityViolation.
 Result<Bytes> open(ByteSpan key32, ByteSpan sealed);
+
+// ---------------------------------------------------------------------------
+// Chunked sealing — the pipelined checkpoint data path.
+//
+// The pipeline splits the serialized enclave state into fixed-size chunks so
+// N sealing workers can encrypt in parallel while the wire already carries
+// earlier chunks. Each chunk is sealed under its own subkey derived from the
+// session key (Kmigrate) and the chunk index; because the block/stream
+// ciphers above run with a fixed IV, the derived per-chunk key is what plays
+// the role of the AEAD nonce — two chunks must never share one. A
+// ChunkSealer therefore refuses to seal the same index twice within a
+// session, and folds every per-chunk MAC into a single keyed integrity root
+// so the whole checkpoint still stands or falls as one unit: a partial chunk
+// set can never be accepted, which preserves the self-destroy/commit-point
+// semantics of the migration protocol.
+
+// Per-chunk sealing subkey: HKDF("mig-chunk", key32, le64(index)) -> 32 bytes.
+Bytes chunk_key(ByteSpan key32, uint64_t index);
+
+class ChunkSealer {
+ public:
+  ChunkSealer(CipherAlg alg, ByteSpan key32);
+
+  // Seals one chunk under its index-derived subkey. Rejects
+  // (kInvalidArgument) an index that was already sealed in this session:
+  // reusing a per-chunk key would repeat the keystream.
+  Result<Bytes> seal_chunk(uint64_t index, ByteSpan plaintext);
+
+  // Keyed MAC over (count || mac_0 || ... || mac_{n-1}). Requires the sealed
+  // indices to be exactly 0..n-1 — a gap means a dropped chunk.
+  Result<Bytes> integrity_root() const;
+
+  uint64_t chunks_sealed() const { return macs_.size(); }
+
+ private:
+  CipherAlg alg_;
+  Bytes key_;
+  std::map<uint64_t, Digest> macs_;  // chunk index -> outer MAC tag
+};
+
+class ChunkOpener {
+ public:
+  explicit ChunkOpener(ByteSpan key32);
+
+  // Verifies and decrypts one chunk. Rejects (kInvalidArgument) a duplicate
+  // index — replaying a chunk within a session.
+  Result<Bytes> open_chunk(uint64_t index, ByteSpan sealed);
+
+  // Recomputes the integrity root over every chunk opened so far and
+  // compares against `root`. Fails unless exactly `count` chunks with
+  // indices 0..count-1 were opened — truncation, reordering and chunk
+  // substitution all surface here.
+  Status verify_root(uint64_t count, ByteSpan root) const;
+
+  uint64_t chunks_opened() const { return macs_.size(); }
+
+ private:
+  Bytes key_;
+  std::map<uint64_t, Digest> macs_;
+};
 
 }  // namespace mig::crypto

@@ -1,5 +1,6 @@
 #include "hv/live_migration.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "obs/metrics.h"
@@ -111,27 +112,79 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   // One pre-copy round with bounded retry. Rounds are idempotent (the target
   // just applies pages and acks), so a lost round or a lost ack is repaired
   // by retransmission; anything else fails the round.
-  auto send_round_acked = [&](uint64_t pages, uint64_t extra) -> Status {
+  // `scan_ns` is the round's dirty-bitmap scan/gather budget; it is charged
+  // up front in the classic path, and spread across batches (overlapping the
+  // wire) when round batching is on.
+  auto send_round_acked = [&](uint64_t pages, uint64_t extra,
+                              uint64_t scan_ns) -> Status {
     uint64_t bytes = pages * page + extra;
     obs::Span<sim::ThreadCtx> round_span(
         ctx, "precopy_round", "hv",
         {{"round", report.rounds}, {"pages", pages}, {"bytes", bytes}});
     obs::metrics().observe("hv.round_bytes", bytes);
+    const uint64_t batch_pages = params_.round_batch_pages;
+    if (batch_pages == 0 || pages <= batch_pages) {
+      // Classic whole-round framing: one kRound frame, one ack.
+      if (scan_ns > 0) ctx.work_atomic(scan_ns);
+      for (uint64_t attempt = 0;; ++attempt) {
+        link.send_sized(ctx, msg(Tag::kRound, pages, extra), bytes);
+        report.transferred_bytes += bytes;
+        Result<Parsed> p =
+            recv_parsed(ctx.now() + 2 * wire_ns(bytes) + params_.ack_grace_ns);
+        if (p.ok()) {
+          if (p->tag == Tag::kRoundAck) return OkStatus();
+          if (p->tag == Tag::kAbort)
+            return Error(ErrorCode::kAborted, "target aborted the migration");
+          return Error(ErrorCode::kInternal, "migration protocol desync");
+        }
+        if (p.status().code() != ErrorCode::kDeadlineExceeded ||
+            attempt >= params_.max_ack_retries) {
+          return p.status();
+        }
+        obs::instant(ctx, "precopy.retry", "hv", {{"attempt", attempt}});
+        obs::metrics().add("hv.precopy.retries");
+        ctx.sleep(params_.retry_backoff_ns << attempt);
+      }
+    }
+    // Batched: the round's pages ride the link as back-to-back kRound
+    // frames. send_sized never blocks the sender, so gathering batch k+1
+    // overlaps transmitting batch k; the link itself serializes the bytes.
+    // The target acks every frame (it cannot tell a batch from a small
+    // round); the source collects one ack per batch. Retry remains at
+    // whole-round granularity — rounds are idempotent, and duplicate acks
+    // from a half-acked attempt are tolerated just like retransmitted-round
+    // acks in the classic path.
+    const uint64_t nbatches = (pages + batch_pages - 1) / batch_pages;
+    obs::metrics().set_gauge("hv.round_batches", nbatches);
     for (uint64_t attempt = 0;; ++attempt) {
-      link.send_sized(ctx, msg(Tag::kRound, pages, extra), bytes);
+      uint64_t sent = 0;
+      for (uint64_t b = 0; b < nbatches; ++b) {
+        uint64_t bp = std::min(batch_pages, pages - sent);
+        sent += bp;
+        ctx.work_atomic(scan_ns / nbatches);
+        // Extra (checkpoint) bytes ride on the first batch, so a round that
+        // carries checkpoints still announces them in its first frame.
+        uint64_t e = b == 0 ? extra : 0;
+        link.send_sized(ctx, msg(Tag::kRound, bp, e), bp * page + e);
+      }
       report.transferred_bytes += bytes;
-      Result<Parsed> p =
-          recv_parsed(ctx.now() + 2 * wire_ns(bytes) + params_.ack_grace_ns);
-      if (p.ok()) {
-        if (p->tag == Tag::kRoundAck) return OkStatus();
-        if (p->tag == Tag::kAbort)
-          return Error(ErrorCode::kAborted, "target aborted the migration");
-        return Error(ErrorCode::kInternal, "migration protocol desync");
+      bool all_acked = true;
+      for (uint64_t b = 0; b < nbatches && all_acked; ++b) {
+        Result<Parsed> p =
+            recv_parsed(ctx.now() + 2 * wire_ns(bytes) + params_.ack_grace_ns);
+        if (p.ok()) {
+          if (p->tag == Tag::kRoundAck) continue;
+          if (p->tag == Tag::kAbort)
+            return Error(ErrorCode::kAborted, "target aborted the migration");
+          return Error(ErrorCode::kInternal, "migration protocol desync");
+        }
+        if (p.status().code() != ErrorCode::kDeadlineExceeded ||
+            attempt >= params_.max_ack_retries) {
+          return p.status();
+        }
+        all_acked = false;
       }
-      if (p.status().code() != ErrorCode::kDeadlineExceeded ||
-          attempt >= params_.max_ack_retries) {
-        return p.status();
-      }
+      if (all_acked) return OkStatus();
       obs::instant(ctx, "precopy.retry", "hv", {{"attempt", attempt}});
       obs::metrics().add("hv.precopy.retries");
       ctx.sleep(params_.retry_backoff_ns << attempt);
@@ -142,9 +195,10 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   for (uint64_t round = 0; round < params_.max_rounds; ++round) {
     if (dirty <= params_.stop_copy_threshold_pages) break;
     uint64_t round_start = ctx.now();
-    // Dirty-bitmap scan + queueing.
-    ctx.work_atomic(cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
-    Status st = send_round_acked(dirty, 0);
+    // Dirty-bitmap scan + queueing (charged inside the round so batching can
+    // overlap it with the wire).
+    Status st = send_round_acked(
+        dirty, 0, cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
     if (!st.ok()) {
       abort_source(ctx, vm, link, /*vm_stopped=*/false);
       return st;
@@ -199,7 +253,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
         continue;
       }
       uint64_t round_start = ctx.now();
-      Status st = send_round_acked(dirty, pending_extra);
+      Status st = send_round_acked(dirty, pending_extra, 0);
       if (!st.ok()) {
         abort_source(ctx, vm, link, /*vm_stopped=*/false);
         return st;

@@ -24,6 +24,15 @@ struct MigrationParams {
   uint64_t max_rounds = 30;
   uint64_t stop_copy_threshold_pages = 150;  // ~600 KB => single-digit-ms downtime
 
+  // Chunked round batching (the checkpoint pipeline idea applied to
+  // pre-copy): when > 0, each round is split into batches of this many
+  // pages, sent back-to-back so the dirty-page gather for batch k+1 overlaps
+  // the wire transmission of batch k. The target acks every kRound frame as
+  // before — no target-side change — and retry stays at whole-round
+  // granularity. 0 = classic one-frame-per-round behavior, byte-identical
+  // on the wire (the failure-matrix tests pin that protocol).
+  uint64_t round_batch_pages = 0;
+
   // ---- failure handling (all virtual time) ----
   // The ack deadline for a round of B bytes is 2x its wire time plus this
   // grace, so detection latency scales with what was actually sent.

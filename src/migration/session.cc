@@ -17,6 +17,9 @@ Result<Bytes> EnclaveMigrator::prepare(sim::ThreadCtx& ctx,
   sdk::ControlCmd cmd;
   cmd.type = sdk::ControlCmd::Type::kPrepareCheckpoint;
   cmd.cipher = opts.cipher;
+  cmd.chunk_bytes = opts.chunk_bytes;
+  cmd.seal_workers = opts.seal_workers;
+  if (opts.chunk_stream != nullptr) cmd.chunk_stream = *opts.chunk_stream;
   sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
   MIG_RETURN_IF_ERROR(reply.status);
   if (obs::active()) {
@@ -233,6 +236,8 @@ Result<uint64_t> VmMigrationSession::prepare_process(sim::ThreadCtx& ctx,
   uint64_t total = 0;
   EnclaveMigrateOptions opts;
   opts.cipher = opts_.cipher;
+  opts.chunk_bytes = opts_.chunk_bytes;
+  opts.seal_workers = opts_.seal_workers;
   for (ManagedEnclave& m : managed_[p]) {
     MIG_ASSIGN_OR_RETURN(m.checkpoint, migrator_.prepare(ctx, *m.host, opts));
     total += m.checkpoint.size() + kEnclaveAppFootprintBytes;
@@ -262,6 +267,8 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
                                           guestos::Process* p) {
   EnclaveMigrateOptions opts;
   opts.cipher = opts_.cipher;
+  opts.chunk_bytes = opts_.chunk_bytes;
+  opts.seal_workers = opts_.seal_workers;
   if (agent_ != nullptr) opts.agent = &agent_->port();
   for (ManagedEnclave& m : managed_[p]) {
     if (m.key_delivered != nullptr) {

@@ -35,6 +35,16 @@ struct EnclaveMigrateOptions {
   // EPC alive after migration (fork attempts). Self-destroy makes the
   // instance useless anyway; tests verify exactly that.
   bool leave_source_alive = false;
+  // Chunked checkpoint pipeline (wire format v2): prepare splits the state
+  // dump into chunks of this many bytes, sealed by `seal_workers` parallel
+  // in-enclave workers; restore auto-detects the format. The pipeline is the
+  // default; chunk_bytes = 0 selects the legacy single-blob v1 path.
+  uint64_t chunk_bytes = 64 * 1024;
+  uint64_t seal_workers = 2;
+  // When set, prepare streams sealed chunks over this channel end as they
+  // are produced (the blob is still returned; tests/benches receive with
+  // sdk::receive_chunked_checkpoint on the peer end).
+  sim::Channel::End* chunk_stream = nullptr;
 };
 
 // Moves one enclave of `host` from its current instance to the guest's
@@ -105,6 +115,10 @@ class VmMigrationSession {
     // Agent host environment on the target (required when use_agent).
     guestos::GuestOs* target_host_os = nullptr;
     crypto::SigKeyPair dev_signer;        // for building the agent
+    // Chunked checkpoint pipeline knobs, forwarded to every enclave's
+    // EnclaveMigrateOptions (0 chunk_bytes = legacy v1 sealing).
+    uint64_t chunk_bytes = 64 * 1024;
+    uint64_t seal_workers = 2;
   };
 
   VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,

@@ -1,0 +1,151 @@
+#include "sdk/chunk_wire.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace mig::sdk {
+
+namespace {
+
+constexpr char kBlobMagic[4] = {'M', 'G', 'C', '2'};
+constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
+constexpr char kEndMagic[4] = {'C', 'E', 'N', 'D'};
+
+bool has_magic(ByteSpan b, const char (&magic)[4]) {
+  if (b.size() < 4) return false;
+  for (int i = 0; i < 4; ++i)
+    if (b[i] != static_cast<uint8_t>(magic[i])) return false;
+  return true;
+}
+
+void put_magic(Writer& w, const char (&magic)[4]) {
+  for (char c : magic) w.u8(static_cast<uint8_t>(c));
+}
+
+bool valid_alg(uint8_t alg) {
+  return alg >= static_cast<uint8_t>(crypto::CipherAlg::kRc4) &&
+         alg <= static_cast<uint8_t>(crypto::CipherAlg::kChaCha20);
+}
+
+void put_header(Writer& w, const ChunkedHeader& h) {
+  w.u8(static_cast<uint8_t>(h.alg));
+  w.u64(h.chunk_bytes);
+  w.u64(h.chunk_count);
+  w.u64(h.total_bytes);
+}
+
+// Reads the header fields (after the magic) with sanity limits; flips the
+// reader's ok flag via the caller's finish()/ok() checks on malformed input.
+Result<ChunkedHeader> read_header(Reader& r) {
+  ChunkedHeader h;
+  uint8_t alg = r.u8();
+  h.chunk_bytes = r.u64();
+  h.chunk_count = r.u64();
+  h.total_bytes = r.u64();
+  if (!r.ok() || !valid_alg(alg))
+    return Error(ErrorCode::kIntegrityViolation, "chunked header malformed");
+  h.alg = static_cast<crypto::CipherAlg>(alg);
+  if (h.chunk_count == 0 || h.chunk_count > kMaxWireChunks)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "chunked header: absurd chunk count");
+  return h;
+}
+
+}  // namespace
+
+bool is_chunked_checkpoint(ByteSpan blob) { return has_magic(blob, kBlobMagic); }
+
+Bytes encode_chunked_checkpoint(const ChunkedHeader& header,
+                                const std::vector<Bytes>& sealed_chunks,
+                                ByteSpan root) {
+  MIG_CHECK(header.chunk_count == sealed_chunks.size());
+  MIG_CHECK(root.size() == 32);
+  Writer w;
+  put_magic(w, kBlobMagic);
+  put_header(w, header);
+  for (uint64_t i = 0; i < sealed_chunks.size(); ++i) {
+    w.u64(i);
+    w.bytes(sealed_chunks[i]);
+  }
+  w.raw(root);
+  return w.take();
+}
+
+Result<ParsedChunked> parse_chunked_checkpoint(ByteSpan blob) {
+  if (!is_chunked_checkpoint(blob))
+    return Error(ErrorCode::kIntegrityViolation, "not a chunked checkpoint");
+  Reader r(blob.subspan(4));
+  ParsedChunked out;
+  MIG_ASSIGN_OR_RETURN(out.header, read_header(r));
+  out.sealed_chunks.reserve(out.header.chunk_count);
+  for (uint64_t i = 0; i < out.header.chunk_count; ++i) {
+    uint64_t index = r.u64();
+    Bytes sealed = r.bytes();
+    if (!r.ok() || index != i)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "chunked checkpoint: bad chunk record " + std::to_string(i));
+    out.sealed_chunks.push_back(std::move(sealed));
+  }
+  out.root = r.raw(32);
+  MIG_RETURN_IF_ERROR(r.finish());
+  return out;
+}
+
+Bytes encode_chunk_frame(uint64_t index, ByteSpan sealed) {
+  Writer w;
+  put_magic(w, kChunkMagic);
+  w.u64(index);
+  w.bytes(sealed);
+  return w.take();
+}
+
+Bytes encode_end_frame(const ChunkedHeader& header, ByteSpan root) {
+  MIG_CHECK(root.size() == 32);
+  Writer w;
+  put_magic(w, kEndMagic);
+  put_header(w, header);
+  w.raw(root);
+  return w.take();
+}
+
+Result<Bytes> receive_chunked_checkpoint(sim::ThreadCtx& ctx,
+                                         sim::Channel::End end,
+                                         uint64_t timeout_ns) {
+  std::vector<Bytes> chunks;
+  for (;;) {
+    std::optional<Bytes> frame = end.recv_timeout(ctx, timeout_ns);
+    if (!frame)
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "chunk stream went quiet after " +
+                       std::to_string(chunks.size()) + " chunk(s)");
+    if (has_magic(*frame, kChunkMagic)) {
+      Reader r(ByteSpan(*frame).subspan(4));
+      uint64_t index = r.u64();
+      Bytes sealed = r.bytes();
+      if (!r.finish().ok() || index != chunks.size() ||
+          chunks.size() >= kMaxWireChunks)
+        return Error(ErrorCode::kIntegrityViolation,
+                     "chunk stream: bad frame at position " +
+                         std::to_string(chunks.size()));
+      chunks.push_back(std::move(sealed));
+      continue;
+    }
+    if (has_magic(*frame, kEndMagic)) {
+      Reader r(ByteSpan(*frame).subspan(4));
+      MIG_ASSIGN_OR_RETURN(ChunkedHeader h, read_header(r));
+      Bytes root = r.raw(32);
+      MIG_RETURN_IF_ERROR(r.finish());
+      if (h.chunk_count != chunks.size())
+        return Error(ErrorCode::kIntegrityViolation,
+                     "chunk stream: end frame announces " +
+                         std::to_string(h.chunk_count) + " chunks, saw " +
+                         std::to_string(chunks.size()));
+      return encode_chunked_checkpoint(h, chunks, root);
+    }
+    return Error(ErrorCode::kIntegrityViolation, "chunk stream: unknown frame");
+  }
+}
+
+}  // namespace mig::sdk

@@ -1,0 +1,82 @@
+// Chunked checkpoint wire format (v2) and its stream framing.
+//
+// The pipelined checkpoint data path seals the serialized enclave state as a
+// sequence of fixed-size chunks (crypto/aead.h ChunkSealer) so that sealing
+// can run on parallel workers and the network can carry chunk k while chunk
+// k+1 is still being encrypted. Two byte formats fall out of that:
+//
+//  * the *assembled blob* (v2) — what EnclaveMigrator hands around in place
+//    of the legacy single seal() blob:
+//
+//      "MGC2" | u8 alg | u64 chunk_bytes | u64 chunk_count | u64 total_bytes
+//             | chunk_count x ( u64 index | bytes sealed_chunk )
+//             | root (32 raw bytes)
+//
+//    The first magic byte (0x4D) can never collide with a legacy blob, whose
+//    first byte is a CipherAlg in 1..5 — restore dispatches on it.
+//
+//  * the *stream frames* — what the control thread emits over a channel
+//    while the pipeline runs: one CHNK frame per sealed chunk, then a CEND
+//    frame carrying the header and the integrity root. A receiver that never
+//    sees CEND (fault between chunk k and k+1) holds only useless ciphertext:
+//    without the root the chunk set can never be accepted.
+//
+// Decoders here are deliberately defensive: they are fed by fuzz and
+// tampering tests and must reject hostile input without allocating absurd
+// amounts of memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "sim/network.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mig::sdk {
+
+// Upper bound a decoder will believe for chunk_count; a 96 MB EPC at the
+// minimum 4 KB chunk size is ~24k chunks, so 2^20 is generous.
+inline constexpr uint64_t kMaxWireChunks = 1u << 20;
+
+struct ChunkedHeader {
+  crypto::CipherAlg alg = crypto::CipherAlg::kRc4;
+  uint64_t chunk_bytes = 0;  // nominal plaintext bytes per chunk
+  uint64_t chunk_count = 0;
+  uint64_t total_bytes = 0;  // plaintext bytes across all chunks
+};
+
+// True iff `blob` starts with the v2 magic.
+bool is_chunked_checkpoint(ByteSpan blob);
+
+// Assembles the v2 blob from `chunk_count` sealed chunks (indexed by
+// position) and the 32-byte integrity root.
+Bytes encode_chunked_checkpoint(const ChunkedHeader& header,
+                                const std::vector<Bytes>& sealed_chunks,
+                                ByteSpan root);
+
+struct ParsedChunked {
+  ChunkedHeader header;
+  std::vector<Bytes> sealed_chunks;  // position == chunk index
+  Bytes root;
+};
+
+Result<ParsedChunked> parse_chunked_checkpoint(ByteSpan blob);
+
+// ---- stream framing ----
+
+// "CHNK" | u64 index | bytes sealed_chunk
+Bytes encode_chunk_frame(uint64_t index, ByteSpan sealed);
+// "CEND" | u8 alg | u64 chunk_bytes | u64 chunk_count | u64 total_bytes | root
+Bytes encode_end_frame(const ChunkedHeader& header, ByteSpan root);
+
+// Drains CHNK frames (which must arrive in index order 0,1,2,...) until the
+// CEND frame, reassembling the v2 blob. `timeout_ns` bounds the wait for
+// *each* frame; a quiet or severed link yields kDeadlineExceeded and no
+// partial output escapes.
+Result<Bytes> receive_chunked_checkpoint(sim::ThreadCtx& ctx,
+                                         sim::Channel::End end,
+                                         uint64_t timeout_ns);
+
+}  // namespace mig::sdk

@@ -1,6 +1,8 @@
 #include "sdk/control.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
@@ -8,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sdk/builder.h"
+#include "sdk/chunk_wire.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -165,8 +168,13 @@ class ControlEngine {
   // is precisely what the §IV-A consistency attack exploits when the
   // quiescence protocol is skipped (kNaiveDump).
   uint64_t charge_page_dump() {
-    env_->work(sim::per_byte_x100(
-        env_->cost().checkpoint_dump_ns_per_byte_x100, sgx::kPageSize));
+    // The chunked pipeline charges dump traversal per *chunk* inside the
+    // pipeline instead (stage 1), so it can overlap sealing in virtual time;
+    // by then the quiescent point has been reached, so per-page cost
+    // placement no longer affects what the dump can observe.
+    if (charge_dump_)
+      env_->work(sim::per_byte_x100(
+          env_->cost().checkpoint_dump_ns_per_byte_x100, sgx::kPageSize));
     return sgx::kPageSize;
   }
 
@@ -265,8 +273,7 @@ class ControlEngine {
     return c;
   }
 
-  Bytes seal_checkpoint(const Checkpoint& c, ByteSpan key,
-                        crypto::CipherAlg alg, uint64_t pad_to_multiple) {
+  Bytes checkpoint_plaintext(const Checkpoint& c, uint64_t pad_to_multiple) {
     Bytes body = serialize_checkpoint(c);
     Writer w;
     w.bytes(body);
@@ -276,11 +283,167 @@ class ControlEngine {
                         pad_to_multiple;
       w.raw(deps_->rng.generate(padded - total));
     }
-    Bytes plain = w.take();
+    return w.take();
+  }
+
+  // Legacy v1: one seal() over the whole plaintext, serial on this thread.
+  Bytes seal_plain_v1(ByteSpan plain, ByteSpan key, crypto::CipherAlg alg) {
     env_->work(crypto::cipher_cost_ns(alg, plain.size()));
     env_->work(sim::per_byte_x100(env_->cost().sha256_ns_per_byte_x100,
                                   plain.size()));
     return crypto::seal(alg, key, plain);
+  }
+
+  // The pipelined chunked data path (wire format v2). Three stages overlap
+  // in virtual time:
+  //   1. dump      — this thread walks the serialized state chunk by chunk,
+  //                  charging traversal cost and publishing progress;
+  //   2. seal      — `seal_workers` sim threads (parked TCSs woken into a
+  //                  crypto loop) claim chunk indices and seal each chunk
+  //                  under its Kmigrate+index subkey, contending with
+  //                  everything else for the model CPUs;
+  //   3. send      — this thread ships each sealed chunk over cmd.chunk_stream
+  //                  the moment it is ready. send() never blocks the sender —
+  //                  the link itself serializes — so the wire carries chunk k
+  //                  while the workers encrypt chunk k+1.
+  // Per-chunk MACs fold into one integrity root (crypto::ChunkSealer): the
+  // checkpoint is still accepted or rejected as a single unit.
+  Bytes seal_plain_chunked(Bytes plain_in, ByteSpan key, ControlCmd& cmd) {
+    const sim::CostModel& cost = env_->cost();
+    const uint64_t chunk_bytes = cmd.chunk_bytes;
+    const uint64_t chunks =
+        std::max<uint64_t>(1, (plain_in.size() + chunk_bytes - 1) / chunk_bytes);
+    const uint64_t workers =
+        std::clamp<uint64_t>(cmd.seal_workers, 1, chunks);
+
+    struct Pipeline {
+      Bytes plain;
+      uint64_t chunk_bytes = 0;
+      uint64_t chunks = 0;
+      uint64_t dumped = 0;      // chunks stage 1 has produced
+      uint64_t next_claim = 0;  // next index a sealing worker takes
+      std::vector<Bytes> sealed;
+      crypto::ChunkSealer sealer;
+      sim::Event dumped_ev;
+      sim::Event sealed_ev;
+      Pipeline(sim::Executor& ex, crypto::CipherAlg alg, ByteSpan k)
+          : sealer(alg, k), dumped_ev(ex), sealed_ev(ex) {}
+      ByteSpan chunk(uint64_t i) const {
+        uint64_t off = i * chunk_bytes;
+        return ByteSpan(plain).subspan(
+            off, std::min<uint64_t>(chunk_bytes, plain.size() - off));
+      }
+    };
+    auto p = std::make_shared<Pipeline>(env_->ctx().executor(), cmd.cipher, key);
+    p->plain = std::move(plain_in);
+    p->chunk_bytes = chunk_bytes;
+    p->chunks = chunks;
+    p->sealed.resize(chunks);
+
+    if (obs::metrics_enabled()) {
+      auto& m = obs::metrics();
+      m.set_gauge("pipeline.depth", workers);
+      m.set_gauge("pipeline.chunk_bytes", chunk_bytes);
+    }
+
+    const crypto::CipherAlg alg = cmd.cipher;
+    const sim::CostModel* cm = &cost;
+    for (uint64_t wi = 0; wi < workers; ++wi) {
+      env_->work(cost.seal_worker_spawn_ns);
+      env_->ctx().executor().spawn(
+          "seal-w" + std::to_string(wi), [p, alg, cm](sim::ThreadCtx& tc) {
+            obs::Span<sim::ThreadCtx> span(tc, "pipeline.seal_worker", "sdk");
+            for (;;) {
+              if (p->next_claim >= p->chunks) return;
+              uint64_t i = p->next_claim++;
+              while (p->dumped <= i) {
+                p->dumped_ev.reset();
+                p->dumped_ev.wait(tc);
+              }
+              ByteSpan chunk = p->chunk(i);
+              uint64_t t0 = tc.now();
+              tc.work(cm->chunk_setup_ns +
+                      crypto::cipher_cost_ns(alg, chunk.size()) +
+                      sim::per_byte_x100(cm->sha256_ns_per_byte_x100,
+                                         chunk.size()));
+              auto sealed = p->sealer.seal_chunk(i, chunk);
+              MIG_CHECK(sealed.ok());  // indices are claimed uniquely
+              p->sealed[i] = std::move(*sealed);
+              if (obs::metrics_enabled()) {
+                obs::metrics().add("pipeline.chunks_sealed");
+                obs::metrics().observe("pipeline.chunk_seal_ns", tc.now() - t0);
+              }
+              p->sealed_ev.set(tc);
+            }
+          });
+    }
+
+    {
+      obs::Span<sim::ThreadCtx> dump_span(env_->ctx(), "pipeline.dump", "sdk",
+                                          {{"chunks", chunks}});
+      for (uint64_t i = 0; i < chunks; ++i) {
+        env_->work(sim::per_byte_x100(cost.checkpoint_dump_ns_per_byte_x100,
+                                      p->chunk(i).size()));
+        p->dumped = i + 1;
+        p->dumped_ev.set(env_->ctx());
+      }
+    }
+
+    {
+      obs::Span<sim::ThreadCtx> send_span(env_->ctx(), "pipeline.send", "sdk");
+      for (uint64_t i = 0; i < chunks; ++i) {
+        while (p->sealed[i].empty()) {
+          p->sealed_ev.reset();
+          p->sealed_ev.wait(env_->ctx());
+        }
+        if (cmd.chunk_stream.has_value())
+          cmd.chunk_stream->send(env_->ctx(),
+                                 encode_chunk_frame(i, p->sealed[i]));
+      }
+    }
+
+    auto root = p->sealer.integrity_root();
+    MIG_CHECK(root.ok());
+    ChunkedHeader h;
+    h.alg = cmd.cipher;
+    h.chunk_bytes = chunk_bytes;
+    h.chunk_count = chunks;
+    h.total_bytes = p->plain.size();
+    if (cmd.chunk_stream.has_value())
+      cmd.chunk_stream->send(env_->ctx(), encode_end_frame(h, *root));
+    return encode_chunked_checkpoint(h, p->sealed, *root);
+  }
+
+  Bytes seal_checkpoint(const Checkpoint& c, ByteSpan key, ControlCmd& cmd) {
+    Bytes plain = checkpoint_plaintext(c, cmd.pad_to_multiple);
+    if (cmd.chunk_bytes == 0) return seal_plain_v1(plain, key, cmd.cipher);
+    return seal_plain_chunked(std::move(plain), key, cmd);
+  }
+
+  // Mirror of seal_plain_chunked on the restore side: open every chunk under
+  // its index-derived subkey, then require the integrity root to cover
+  // exactly the announced chunk set. Serial — restore latency is dominated
+  // by the pump replay, and a lone target thread has no workers to spare.
+  Result<Bytes> open_chunked(ByteSpan blob, ByteSpan key) {
+    const sim::CostModel& cost = env_->cost();
+    MIG_ASSIGN_OR_RETURN(ParsedChunked pc, parse_chunked_checkpoint(blob));
+    if (pc.header.total_bytes > (uint64_t{1} << 32))
+      return Error(ErrorCode::kIntegrityViolation,
+                   "chunked checkpoint: absurd total size");
+    crypto::ChunkOpener opener(key);
+    Bytes plain;
+    for (uint64_t i = 0; i < pc.sealed_chunks.size(); ++i) {
+      const Bytes& sc = pc.sealed_chunks[i];
+      env_->work(cost.chunk_setup_ns + crypto::cipher_cost_ns(pc.header.alg, sc.size()) +
+                 sim::per_byte_x100(cost.sha256_ns_per_byte_x100, sc.size()));
+      MIG_ASSIGN_OR_RETURN(Bytes chunk, opener.open_chunk(i, sc));
+      append(plain, chunk);
+    }
+    MIG_RETURN_IF_ERROR(opener.verify_root(pc.header.chunk_count, pc.root));
+    if (plain.size() != pc.header.total_bytes)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "chunked checkpoint: total size mismatch");
+    return plain;
   }
 
   // ---- kPrepareCheckpoint ---------------------------------------------------
@@ -299,11 +462,12 @@ class ControlEngine {
     }
     obs::Span<sim::ThreadCtx> dump_span(env_->ctx(), "checkpoint.dump_seal",
                                         "sdk");
+    charge_dump_ = cmd.chunk_bytes == 0;
     auto c = capture();
+    charge_dump_ = true;
     if (!c.ok()) return fail(c.status().code(), c.status().message());
     ControlReply reply;
-    reply.blob = seal_checkpoint(*c, kmigrate, cmd.cipher,
-                                 cmd.pad_to_multiple);
+    reply.blob = seal_checkpoint(*c, kmigrate, cmd);
     return reply;
   }
 
@@ -318,8 +482,9 @@ class ControlEngine {
     auto c = capture();
     if (!c.ok()) return fail(c.status().code(), c.status().message());
     ControlReply reply;
-    reply.blob = seal_checkpoint(*c, kmigrate, cmd.cipher,
-                                 cmd.pad_to_multiple);
+    // The strawman predates the chunk pipeline: always plain v1 sealing.
+    reply.blob = seal_plain_v1(checkpoint_plaintext(*c, cmd.pad_to_multiple),
+                               kmigrate, cmd.cipher);
     return reply;
   }
 
@@ -472,8 +637,15 @@ class ControlEngine {
   }
 
   ControlReply restore_with_key(ControlCmd& cmd, ByteSpan key) {
-    env_->work(crypto::cipher_cost_ns(cmd.cipher, cmd.blob.size()));
-    auto plain = crypto::open(key, cmd.blob);
+    // The blob is self-describing: v2 chunked blobs carry the "MGC2" magic,
+    // whose first byte can never collide with a v1 blob's leading CipherAlg.
+    Result<Bytes> plain = Error(ErrorCode::kInternal, "unreachable");
+    if (is_chunked_checkpoint(cmd.blob)) {
+      plain = open_chunked(cmd.blob, key);
+    } else {
+      env_->work(crypto::cipher_cost_ns(cmd.cipher, cmd.blob.size()));
+      plain = crypto::open(key, cmd.blob);
+    }
     if (!plain.ok())
       return fail(plain.status().code(), "checkpoint rejected: " +
                                              plain.status().message());
@@ -671,11 +843,12 @@ class ControlEngine {
     if (!kencrypt.ok()) return fail(kencrypt.status().code(),
                                     kencrypt.status().message());
     reach_quiescent_point();
+    charge_dump_ = cmd.chunk_bytes == 0;
     auto c = capture();
+    charge_dump_ = true;
     if (!c.ok()) return fail(c.status().code(), c.status().message());
     ControlReply reply;
-    reply.blob = seal_checkpoint(*c, *kencrypt, cmd.cipher,
-                                 cmd.pad_to_multiple);
+    reply.blob = seal_checkpoint(*c, *kencrypt, cmd);
     // A snapshot is not a migration: execution continues right away.
     env_->write_u64(kOffGlobalFlag, 0);
     return reply;
@@ -789,6 +962,9 @@ class ControlEngine {
   ControlDeps* deps_;
   const Layout* l_;
   RestoreState restore_state_;
+  // False only while a chunked prepare captures state: the pipeline charges
+  // dump traversal per chunk instead (see charge_page_dump()).
+  bool charge_dump_ = true;
 };
 
 }  // namespace

@@ -96,6 +96,21 @@ struct ControlCmd {
   bool allow_agent_recipient = false;
   // kAgentServeLocal: the local-attestation request being answered.
   std::optional<AgentRequest> agent_request;
+
+  // ---- chunked checkpoint pipeline (wire format v2) ----
+  // When nonzero, the prepare paths split the serialized state into chunks
+  // of this many plaintext bytes, seal them with `seal_workers` parallel
+  // in-enclave sealing workers (each chunk under a Kmigrate+index derived
+  // subkey, all per-chunk MACs folded into one integrity root) and return
+  // the v2 chunked blob (sdk/chunk_wire.h). 0 keeps the legacy single-blob
+  // v1 sealing. Restore auto-detects either format.
+  uint64_t chunk_bytes = 0;
+  uint64_t seal_workers = 1;
+  // When set alongside chunk_bytes, prepare streams each sealed chunk over
+  // this end the moment it is ready — the wire carries chunk k while chunk
+  // k+1 is still being encrypted — and finishes with an end frame bearing
+  // the integrity root. The assembled blob is still returned in the reply.
+  std::optional<sim::Channel::End> chunk_stream;
 };
 
 struct ControlReply {

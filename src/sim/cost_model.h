@@ -72,6 +72,18 @@ struct CostModel {
   uint64_t restore_write_ns_per_byte_x100 = 150;
   uint64_t cssa_replay_ns = 9'000;      // one EENTER+AEX pump iteration
 
+  // ---- chunked checkpoint pipeline ----
+  // Fixed per-chunk overhead: subkey derivation (one HKDF), header framing,
+  // work-queue bookkeeping.
+  uint64_t chunk_setup_ns = 1'500;
+  // Waking a parked TCS and entering it as a sealing worker (EENTER-class
+  // crossing plus scheduler latency).
+  uint64_t seal_worker_spawn_ns = 4'000;
+  // Bulk sealed-chunk streams bypass the QEMU page-processing path that the
+  // 30 ns/B migration-link rate folds in; they see something close to raw
+  // GbE: ~8 ns/B ≈ 125 MB/s.
+  uint64_t chunk_stream_ns_per_byte_x100 = 800;
+
   // ---- network (migration link) ----
   // Effective migration throughput including QEMU 2.5-era page processing:
   // ~33 MB/s, which reproduces the paper's ~30 s total for a 2 GB guest.

@@ -47,7 +47,9 @@ void Pipe::send_sized(ThreadCtx& sender, Bytes message, uint64_t virtual_bytes) 
   // Serialization on the link: transmission starts when both the sender is
   // ready and the link has drained the previous message.
   uint64_t tx_start = std::max(sender.now(), link_free_ns_);
-  uint64_t tx_ns = per_byte_x100(cost_->net_ns_per_byte_x100, size);
+  uint64_t rate_x100 =
+      rate_override_x100_ ? rate_override_x100_ : cost_->net_ns_per_byte_x100;
+  uint64_t tx_ns = per_byte_x100(rate_x100, size);
   uint64_t arrival = tx_start + tx_ns + cost_->net_latency_ns + fd.extra_delay_ns;
   link_free_ns_ = tx_start + tx_ns;
   bytes_sent_ += size;

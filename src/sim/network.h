@@ -85,6 +85,12 @@ class Pipe {
 
   static constexpr uint64_t kNoDeadline = ~0ull;
 
+  // Overrides the link's per-byte transmission rate (x100 fixed point) for
+  // this pipe only; 0 restores the cost model's migration-link rate. Used by
+  // the chunked checkpoint stream, which models a rawer link than the
+  // QEMU-processing-laden migration path.
+  void set_rate_x100(uint64_t rate_x100) { rate_override_x100_ = rate_x100; }
+
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
 
@@ -100,6 +106,7 @@ class Pipe {
   Tap tap_;
   FaultHook fault_hook_;
   bool severed_ = false;
+  uint64_t rate_override_x100_ = 0;  // 0 = use cost model's net rate
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t sends_attempted_ = 0;  // includes sends a fault or sever dropped
@@ -135,6 +142,12 @@ class Channel {
 
   End a() { return End(ab_, ba_); }
   End b() { return End(ba_, ab_); }
+
+  // Applies a per-byte rate override to both directions (see Pipe).
+  void set_rate_x100(uint64_t rate_x100) {
+    ab_.set_rate_x100(rate_x100);
+    ba_.set_rate_x100(rate_x100);
+  }
 
   Pipe& a_to_b() { return ab_; }
   Pipe& b_to_a() { return ba_; }

@@ -154,6 +154,124 @@ TEST(AeadEdge, FuzzedBlobsNeverCrash) {
   }
 }
 
+// ---- chunked sealing (the checkpoint pipeline's AEAD layer) ---------------
+
+TEST(AeadChunk, SealOpenRoundTripAndRoot) {
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  std::vector<Bytes> plain = {Bytes(100, 0x11), Bytes(200, 0x22),
+                              Bytes(50, 0x33)};
+  std::vector<Bytes> sealed;
+  for (size_t i = 0; i < plain.size(); ++i) {
+    auto s = sealer.seal_chunk(i, plain[i]);
+    ASSERT_TRUE(s.ok()) << s.status().to_string();
+    sealed.push_back(std::move(*s));
+  }
+  auto root = sealer.integrity_root();
+  ASSERT_TRUE(root.ok()) << root.status().to_string();
+
+  ChunkOpener opener(key);
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    auto p = opener.open_chunk(i, sealed[i]);
+    ASSERT_TRUE(p.ok()) << p.status().to_string();
+    EXPECT_EQ(*p, plain[i]);
+  }
+  EXPECT_TRUE(opener.verify_root(sealed.size(), *root).ok());
+}
+
+TEST(AeadChunk, ChunkIndexReuseWithinSessionRejected) {
+  // Per-chunk keys stand in for nonces: sealing the same index twice in one
+  // session would be two ciphertexts under one keystream. The sealer must
+  // refuse rather than silently emit them.
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  ASSERT_TRUE(sealer.seal_chunk(0, Bytes(64, 0xaa)).ok());
+  auto again = sealer.seal_chunk(0, Bytes(64, 0xbb));
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kInvalidArgument);
+  // The session is otherwise unharmed: fresh indices still seal.
+  EXPECT_TRUE(sealer.seal_chunk(1, Bytes(64, 0xbb)).ok());
+}
+
+TEST(AeadChunk, OpenerRejectsReplayedIndex) {
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  auto s0 = sealer.seal_chunk(0, Bytes(64, 0xaa));
+  ASSERT_TRUE(s0.ok());
+  ChunkOpener opener(key);
+  ASSERT_TRUE(opener.open_chunk(0, *s0).ok());
+  EXPECT_FALSE(opener.open_chunk(0, *s0).ok());
+}
+
+TEST(AeadChunk, ChunksAreNotInterchangeableAcrossIndices) {
+  // Chunk 1's sealed bytes presented at index 0 must fail: position is bound
+  // by the per-chunk key derivation.
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  ASSERT_TRUE(sealer.seal_chunk(0, Bytes(64, 0xaa)).ok());
+  auto s1 = sealer.seal_chunk(1, Bytes(64, 0xbb));
+  ASSERT_TRUE(s1.ok());
+  ChunkOpener opener(key);
+  EXPECT_FALSE(opener.open_chunk(0, *s1).ok());
+}
+
+TEST(AeadChunk, RootDetectsTruncationWrongCountAndGaps) {
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  std::vector<Bytes> sealed;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto s = sealer.seal_chunk(i, Bytes(32, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(s.ok());
+    sealed.push_back(std::move(*s));
+  }
+  auto root = sealer.integrity_root();
+  ASSERT_TRUE(root.ok());
+
+  // Opener that saw only 3 of the 4 chunks: wrong count => refused.
+  ChunkOpener partial(key);
+  for (uint64_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(partial.open_chunk(i, sealed[i]).ok());
+  Status st = partial.verify_root(3, *root);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIntegrityViolation);
+  // Claiming the full count without having opened every chunk also fails.
+  EXPECT_FALSE(partial.verify_root(4, *root).ok());
+
+  // Opener with a gap (skipped chunk 1): incomplete set => refused.
+  ChunkOpener gappy(key);
+  ASSERT_TRUE(gappy.open_chunk(0, sealed[0]).ok());
+  ASSERT_TRUE(gappy.open_chunk(2, sealed[2]).ok());
+  EXPECT_FALSE(gappy.verify_root(2, *root).ok());
+
+  // A wrong root of the right shape is refused.
+  ChunkOpener full(key);
+  for (uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(full.open_chunk(i, sealed[i]).ok());
+  Bytes wrong(root->begin(), root->end());
+  wrong[0] ^= 1;
+  EXPECT_FALSE(full.verify_root(4, wrong).ok());
+  EXPECT_TRUE(full.verify_root(4, *root).ok());
+}
+
+TEST(AeadChunk, RootRequiresContiguousIndicesAtSealer) {
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kRc4, key);
+  ASSERT_TRUE(sealer.seal_chunk(0, Bytes(16, 1)).ok());
+  ASSERT_TRUE(sealer.seal_chunk(2, Bytes(16, 2)).ok());  // gap at 1
+  EXPECT_FALSE(sealer.integrity_root().ok());
+}
+
+TEST(AeadChunk, TamperedChunkRejected) {
+  Bytes key = Drbg(to_bytes("chunk-key")).generate(32);
+  ChunkSealer sealer(CipherAlg::kChaCha20, key);
+  auto s = sealer.seal_chunk(0, Bytes(128, 0x5a));
+  ASSERT_TRUE(s.ok());
+  Bytes bad = *s;
+  bad[bad.size() / 2] ^= 0x01;
+  ChunkOpener opener(key);
+  EXPECT_FALSE(opener.open_chunk(0, bad).ok());
+}
+
 TEST(DrbgEdge, LargeRequestsAndU64Distribution) {
   Drbg d(to_bytes("x"));
   Bytes big = d.generate(100'000);

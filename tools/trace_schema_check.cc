@@ -9,10 +9,17 @@
 //
 // File kind is auto-detected from the top-level keys. Exit 0 iff every file
 // passes; failures print one line each to stderr.
+//
+// With `--names <doc.md>` (docs/trace-schema.md in the tree), every span,
+// instant, counter, gauge, and histogram name found in the inputs must be
+// backtick-quoted somewhere in that markdown file — the documented name set
+// IS the schema, and an undocumented emission fails the check. That keeps
+// the reference honest: add an instrumentation point, add its row.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +40,42 @@ struct Report {
 };
 
 bool is_u64(const Json* j) { return j != nullptr && j->is_integer(); }
+
+// The documented name set: every token that appears between backticks in the
+// reference markdown. "`a` / `b`" documents both; slashes inside one span of
+// backticks (`ctl.provision`) are part of the name only if no split applies.
+struct DocumentedNames {
+  bool loaded = false;
+  std::set<std::string> names;
+
+  bool contains(const std::string& n) const { return names.count(n) != 0; }
+
+  bool load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    size_t pos = 0;
+    while ((pos = text.find('`', pos)) != std::string::npos) {
+      size_t end = text.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      names.insert(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    }
+    loaded = true;
+    return true;
+  }
+};
+
+DocumentedNames g_doc;
+
+void require_documented(const std::string& kind, const std::string& name,
+                        Report& rep) {
+  if (!g_doc.loaded || g_doc.contains(name)) return;
+  rep.fail(kind + " '" + name + "' is not documented in the trace-schema "
+           "reference — add it to docs/trace-schema.md");
+}
 
 void check_trace(const Json& root, Report& rep) {
   const Json* events = root.get("traceEvents");
@@ -96,8 +139,12 @@ void check_trace(const Json& root, Report& rep) {
         rep.fail(at + ": instant without thread scope");
     }
     if ((kind == 'B' || kind == 'i') &&
-        (name == nullptr || !name->is_string() || name->as_string().empty()))
+        (name == nullptr || !name->is_string() || name->as_string().empty())) {
       rep.fail(at + ": unnamed " + std::string(1, kind) + " event");
+    } else if (kind == 'B' || kind == 'i') {
+      require_documented(kind == 'B' ? "span" : "instant", name->as_string(),
+                         rep);
+    }
     if (kind == 'B') {
       stacks[tid].push_back(name != nullptr ? name->as_string() : "");
     } else if (kind == 'E') {
@@ -132,6 +179,7 @@ void check_metrics(const Json& root, Report& rep) {
     for (const auto& [key, value] : m->fields()) {
       if (!value.is_integer())
         rep.fail(std::string(section) + "." + key + ": not a u64");
+      require_documented(section, key, rep);
     }
   }
   const Json* hists = root.get("histograms");
@@ -140,6 +188,7 @@ void check_metrics(const Json& root, Report& rep) {
     return;
   }
   for (const auto& [key, h] : hists->fields()) {
+    require_documented("histogram", key, rep);
     for (const char* field : {"count", "sum", "min", "max"}) {
       if (!is_u64(h.get(field)))
         rep.fail("histograms." + key + ": missing u64 " + field);
@@ -201,11 +250,30 @@ bool check_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json|metrics.json>...\n", argv[0]);
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--names") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--names needs a markdown file\n");
+        return 2;
+      }
+      if (!g_doc.load(argv[++i])) {
+        std::fprintf(stderr, "%s: cannot open names reference\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    files.push_back(std::move(arg));
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--names trace-schema.md] "
+                 "<trace.json|metrics.json>...\n",
+                 argv[0]);
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) ok &= check_file(argv[i]);
+  for (const std::string& f : files) ok &= check_file(f);
   return ok ? 0 : 1;
 }

@@ -1,0 +1,137 @@
+// Ablation: the sealed snapshot store (PR 4 tentpole).
+//
+// Sweeps enclave state size and sealing-worker count and measures the two
+// halves of the cold path in virtual time:
+//
+//   seal    — snapshot_to_store: SEALGRANT round trip to the counter
+//             service, chunked in-enclave sealing, and the disk write that
+//             publishes the MGS1 envelope in the content-addressed store;
+//   restore — restore_from_store after an abrupt crash: disk read, OPENGRANT
+//             (which consumes the epoch), chunk-by-chunk open, CSSA check,
+//             worker release.
+//
+// Expected trends:
+//   * both halves scale linearly with state size once the enclave dwarfs the
+//     fixed WAN round trip to the counter service;
+//   * extra sealing workers help the seal half (chunk sealing is parallel)
+//     but plateau at the 4 model CPUs; the restore half is dominated by the
+//     serial open+copy and the disk model, so workers barely move it;
+//   * small enclaves are WAN-bound: the counter round trips, not the data
+//     path, set the floor.
+#include "apps/workloads.h"
+#include "bench_common.h"
+#include "store/counter_service.h"
+#include "store/snapshot_store.h"
+
+namespace {
+
+mig::sdk::LayoutParams layout_for(uint64_t heap_pages) {
+  mig::sdk::LayoutParams p;
+  p.num_workers = 2;
+  p.data_pages = 1;
+  p.heap_pages = heap_pages;
+  return p;
+}
+
+struct Row {
+  uint64_t heap_pages;
+  uint64_t seal_workers;
+};
+
+struct Sample {
+  uint64_t seal_ns = 0;
+  uint64_t restore_ns = 0;
+  uint64_t snapshot_bytes = 0;
+};
+
+// One configuration in a fresh world: provision, seal a snapshot, crash the
+// instance, restore from the store's head pointer.
+Sample run_config(const Row& row) {
+  using namespace mig;
+  bench::Bed bed;
+  store::CounterService counters(bed.world.ias(),
+                                 crypto::Drbg(to_bytes("ctr")));
+  store::SealedSnapshotStore snapshots;
+  guestos::Process& proc = bed.guest.create_process("app");
+
+  // The shared Bed builder has no counter-service key; the store protocol
+  // needs it baked into the image (config blob 3), so build by hand.
+  sdk::BuildInput in;
+  in.program = apps::find_workload("mcrypt")->make_program();
+  in.layout = layout_for(row.heap_pages);
+  in.identity_override = bed.dev_identity;
+  in.counter_service_pk = counters.public_key();
+  sdk::BuildOutput built = sdk::build_enclave_image(
+      in, bed.dev_signer, bed.world.ias().service_pk(), bed.rng);
+  bed.owner.enroll(built.image.measure(), built.owner);
+  sdk::EnclaveHost host(bed.guest, proc, std::move(built), bed.world.ias(),
+                        bed.rng.fork(to_bytes("h")));
+
+  migration::EnclaveMigrateOptions opts;
+  opts.counter_service = &counters;
+  opts.seal_workers = row.seal_workers;
+
+  Sample out;
+  bed.run([&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host.create(ctx).ok());
+    bed.provision(ctx, host);
+
+    migration::EnclaveMigrator migrator(bed.world);
+    uint64_t t0 = ctx.now();
+    auto id = migrator.snapshot_to_store(ctx, host, snapshots, opts);
+    MIG_CHECK_MSG(id.ok(), id.status().to_string());
+    out.seal_ns = ctx.now() - t0;
+
+    auto blob = snapshots.get(ctx, *id);
+    MIG_CHECK(blob.ok());
+    out.snapshot_bytes = blob->size();
+
+    host.crash_instance(ctx);
+    uint64_t t1 = ctx.now();
+    Status st = migrator.restore_from_store(ctx, host, snapshots, {}, opts);
+    MIG_CHECK_MSG(st.ok(), st.to_string());
+    out.restore_ns = ctx.now() - t1;
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mig;
+  bench::print_header("Ablation: sealed snapshot store",
+                      "seal/restore time vs state size and sealing workers");
+
+  const Row rows[] = {
+      {16, 2},   // 64 KB heap: WAN-bound floor
+      {128, 2},  // 512 KB
+      {512, 1},  // ~2 MB, serial sealing
+      {512, 2},
+      {512, 4},
+      {512, 8},  // > 4 model CPUs: should plateau
+  };
+
+  std::printf("%10s %8s %14s %10s %12s\n", "heap(KB)", "workers",
+              "snapshot(KB)", "seal(ms)", "restore(ms)");
+  for (const Row& row : rows) {
+    Sample s = run_config(row);
+    std::printf("%10llu %8llu %14llu %10.2f %12.2f\n",
+                static_cast<unsigned long long>(row.heap_pages * 4),
+                static_cast<unsigned long long>(row.seal_workers),
+                static_cast<unsigned long long>(s.snapshot_bytes / 1024),
+                bench::ms(s.seal_ns), bench::ms(s.restore_ns));
+    bench::JsonLine("ablate_store")
+        .num("heap_kb", row.heap_pages * 4)
+        .num("seal_workers", row.seal_workers)
+        .num("snapshot_bytes", s.snapshot_bytes)
+        .num("seal_ns", s.seal_ns)
+        .num("restore_ns", s.restore_ns)
+        .emit();
+  }
+  std::printf(
+      "\nBoth halves grow linearly with state size past the counter\n"
+      "service's fixed WAN round trips. Parallel sealing speeds the seal\n"
+      "half until the 4 model CPUs saturate; the restore half is serial\n"
+      "open+copy plus the disk model, so workers barely move it.\n\n");
+  return 0;
+}

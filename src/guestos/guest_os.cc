@@ -51,6 +51,12 @@ Status GuestOs::destroy_enclave(sim::ThreadCtx& ctx, Process& process,
   return OkStatus();
 }
 
+void GuestOs::crash_enclave(sim::ThreadCtx& ctx, Process& process,
+                            sgx::EnclaveId eid) {
+  driver_->crash_enclave(ctx, eid);
+  if (process.enclave_count > 0) process.enclave_count -= 1;
+}
+
 Status GuestOs::stop_other_threads(sim::ThreadCtx& ctx, Process& process,
                                    sim::ThreadId requester) {
   ctx.work_atomic(cost().syscall_ns);

@@ -92,6 +92,9 @@ class GuestOs : public hv::GuestHooks {
                                         const sgx::EnclaveImage& image);
   Status destroy_enclave(sim::ThreadCtx& ctx, Process& process,
                          sgx::EnclaveId eid);
+  // Crash model: the enclave dies with the machine/VM (EPC wiped, no
+  // EREMOVE ceremony, busy TCSs ignored). For crash-recovery tests.
+  void crash_enclave(sim::ThreadCtx& ctx, Process& process, sgx::EnclaveId eid);
 
   // ---- scheduling services (used by *naive* checkpointing; the paper's
   // two-phase protocol deliberately does not trust these) ----

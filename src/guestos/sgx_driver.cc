@@ -165,6 +165,16 @@ Result<sgx::EnclaveId> SgxDriver::create_enclave(sim::ThreadCtx& ctx,
 
 Status SgxDriver::destroy_enclave(sim::ThreadCtx& ctx, sgx::EnclaveId eid) {
   MIG_RETURN_IF_ERROR(machine_->hw().eremove_enclave(ctx, eid));
+  forget_enclave(eid);
+  return OkStatus();
+}
+
+void SgxDriver::crash_enclave(sim::ThreadCtx& ctx, sgx::EnclaveId eid) {
+  machine_->hw().force_reclaim_enclave(ctx, eid);
+  forget_enclave(eid);
+}
+
+void SgxDriver::forget_enclave(sgx::EnclaveId eid) {
   auto pages = enclave_pages_.find(eid);
   if (pages != enclave_pages_.end()) {
     for (uint64_t lin : pages->second) {
@@ -184,7 +194,6 @@ Status SgxDriver::destroy_enclave(sim::ThreadCtx& ctx, sgx::EnclaveId eid) {
     }
     enclave_pages_.erase(pages);
   }
-  return OkStatus();
 }
 
 }  // namespace mig::guestos

@@ -41,6 +41,11 @@ class SgxDriver {
   // ioctl(DESTROY).
   Status destroy_enclave(sim::ThreadCtx& ctx, sgx::EnclaveId eid);
 
+  // Crash model: the enclave's EPC vanished (power loss / VM kill via
+  // SgxHardware::force_reclaim_enclave); drop all driver bookkeeping for it
+  // without issuing EREMOVE.
+  void crash_enclave(sim::ThreadCtx& ctx, sgx::EnclaveId eid);
+
   // Rebinds the driver to a new machine after VM migration (the guest's
   // device state says "SGX device", the backing hardware changed).
   void rebind(hv::Machine& machine);
@@ -61,6 +66,7 @@ class SgxDriver {
   void ensure_va_headroom(sim::ThreadCtx& ctx);
   bool handle_fault(sim::ThreadCtx& ctx, sgx::EnclaveId eid, uint64_t lin);
   void install_fault_handler();
+  void forget_enclave(sgx::EnclaveId eid);
 
   hv::Machine* machine_;
   hv::Vm* vm_;

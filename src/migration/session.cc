@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sdk/chunk_wire.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -143,6 +144,24 @@ Status EnclaveMigrator::restore(
   host.finish_migration(ctx, restored.pumps);
   obs::metrics().add("migration.restores");
 
+  if (opts.counter_service != nullptr) {
+    // Rollback defense: the migration is committed, so advance the monotonic
+    // counter — every snapshot sealed before the migration becomes dead
+    // ciphertext (its OPENGRANT will be refused). A failure here means the
+    // restored enclave is NOT rollback-protected; the caller opted into that
+    // protection, so surface it as a restore failure.
+    counter_channels_.push_back(world_->make_channel());
+    store::CounterService* ctr = opts.counter_service;
+    sim::Channel* cch = counter_channels_.back().get();
+    world_->executor().spawn("ctr-advance", [ctr, cch](sim::ThreadCtx& c) {
+      ctr->serve_one(c, cch->a());
+    });
+    sdk::ControlCmd advance;
+    advance.type = sdk::ControlCmd::Type::kAdvanceCounter;
+    advance.channel = cch->b();
+    MIG_RETURN_IF_ERROR(host.mailbox().post(ctx, advance).status);
+  }
+
   if (opts.leave_source_alive) {
     // Fork-attack simulation: the malicious operator keeps the source
     // enclave around. Leak it deliberately; self-destroy already neutered it.
@@ -153,6 +172,96 @@ Status EnclaveMigrator::restore(
   // host reclaims its EPC.
   return host.destroy_detached(ctx, source_machine,
                                std::move(source_instance));
+}
+
+Result<Bytes> EnclaveMigrator::snapshot_to_store(
+    sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+    store::SealedSnapshotStore& snapshots, const EnclaveMigrateOptions& opts) {
+  if (opts.counter_service == nullptr)
+    return Error(ErrorCode::kInvalidArgument,
+                 "snapshot_to_store needs a counter service");
+  obs::Span<sim::ThreadCtx> span(ctx, "store.snapshot", "store");
+  counter_channels_.push_back(world_->make_channel());
+  store::CounterService* ctr = opts.counter_service;
+  sim::Channel* ch = counter_channels_.back().get();
+  world_->executor().spawn("ctr-sealgrant", [ctr, ch](sim::ThreadCtx& c) {
+    ctr->serve_one(c, ch->a());
+  });
+  sdk::ControlCmd cmd;
+  cmd.type = sdk::ControlCmd::Type::kStoreSnapshot;
+  cmd.channel = ch->b();
+  cmd.cipher = opts.cipher;
+  cmd.chunk_bytes = opts.chunk_bytes;
+  cmd.seal_workers = opts.seal_workers;
+  sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+  MIG_RETURN_IF_ERROR(reply.status);
+  // The envelope's outer identity field addresses the head pointer. The
+  // store is untrusted bookkeeping; the binding that matters is sealed
+  // inside (outer fields are checked against it at restore).
+  MIG_ASSIGN_OR_RETURN(sdk::SnapshotEnvelope envelope,
+                       sdk::parse_snapshot_envelope(reply.blob));
+  MIG_ASSIGN_OR_RETURN(Bytes id, snapshots.put(ctx, reply.blob));
+  MIG_RETURN_IF_ERROR(snapshots.set_head(ctx, envelope.mrenclave, id));
+  if (obs::active()) {
+    span.finish(
+        {{"bytes", reply.blob.size()}, {"counter", envelope.counter}});
+    obs::metrics().add("migration.store_snapshots");
+    obs::metrics().observe("migration.store_snapshot_bytes",
+                           reply.blob.size());
+  }
+  return id;
+}
+
+Status EnclaveMigrator::restore_from_store(sim::ThreadCtx& ctx,
+                                           sdk::EnclaveHost& host,
+                                           store::SealedSnapshotStore& snapshots,
+                                           ByteSpan snapshot_id,
+                                           const EnclaveMigrateOptions& opts) {
+  if (opts.counter_service == nullptr)
+    return Error(ErrorCode::kInvalidArgument,
+                 "restore_from_store needs a counter service");
+  obs::Span<sim::ThreadCtx> span(ctx, "store.cold_restore", "store");
+  Bytes id(snapshot_id.begin(), snapshot_id.end());
+  if (id.empty()) {
+    // Crash recovery: only the identity survives the crash; follow the
+    // store's head pointer for it.
+    crypto::Digest mre = host.image().measure();
+    MIG_ASSIGN_OR_RETURN(id,
+                         snapshots.head(ctx, Bytes(mre.begin(), mre.end())));
+  }
+  MIG_ASSIGN_OR_RETURN(Bytes blob, snapshots.get(ctx, id));
+
+  MIG_RETURN_IF_ERROR(host.create(ctx));
+  Status st = [&]() -> Status {
+    counter_channels_.push_back(world_->make_channel());
+    store::CounterService* ctr = opts.counter_service;
+    sim::Channel* ch = counter_channels_.back().get();
+    world_->executor().spawn("ctr-opengrant", [ctr, ch](sim::ThreadCtx& c) {
+      ctr->serve_one(c, ch->a());
+    });
+    sdk::ControlCmd cmd;
+    cmd.type = sdk::ControlCmd::Type::kStoreRestore;
+    cmd.channel = ch->b();
+    cmd.cipher = opts.cipher;
+    cmd.blob = std::move(blob);
+    sdk::ControlReply restored = host.mailbox().post(ctx, cmd);
+    MIG_RETURN_IF_ERROR(restored.status);
+    for (const sdk::PumpPlan& plan : restored.pumps) {
+      MIG_RETURN_IF_ERROR(host.pump_cssa(ctx, plan.worker_idx, plan.pumps));
+    }
+    sdk::ControlCmd finish;
+    finish.type = sdk::ControlCmd::Type::kFinishRestore;
+    MIG_RETURN_IF_ERROR(host.mailbox().post(ctx, finish).status);
+    host.finish_migration(ctx, restored.pumps);
+    obs::metrics().add("migration.store_restores");
+    return OkStatus();
+  }();
+  if (!st.ok() && host.instance() != nullptr) {
+    // The virgin instance holds no state worth keeping; don't leave a
+    // half-restored enclave bound to the host.
+    (void)host.destroy(ctx);
+  }
+  return st;
 }
 
 // --------------------------------------------------------------- AgentEnclave
@@ -238,6 +347,7 @@ Result<uint64_t> VmMigrationSession::prepare_process(sim::ThreadCtx& ctx,
   opts.cipher = opts_.cipher;
   opts.chunk_bytes = opts_.chunk_bytes;
   opts.seal_workers = opts_.seal_workers;
+  opts.counter_service = opts_.counter_service;
   for (ManagedEnclave& m : managed_[p]) {
     MIG_ASSIGN_OR_RETURN(m.checkpoint, migrator_.prepare(ctx, *m.host, opts));
     total += m.checkpoint.size() + kEnclaveAppFootprintBytes;
@@ -269,6 +379,7 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
   opts.cipher = opts_.cipher;
   opts.chunk_bytes = opts_.chunk_bytes;
   opts.seal_workers = opts_.seal_workers;
+  opts.counter_service = opts_.counter_service;
   if (agent_ != nullptr) opts.agent = &agent_->port();
   for (ManagedEnclave& m : managed_[p]) {
     if (m.key_delivered != nullptr) {

@@ -25,6 +25,8 @@
 #include "hv/machine.h"
 #include "migration/owner.h"
 #include "sdk/host.h"
+#include "store/counter_service.h"
+#include "store/snapshot_store.h"
 
 namespace mig::migration {
 
@@ -45,6 +47,11 @@ struct EnclaveMigrateOptions {
   // are produced (the blob is still returned; tests/benches receive with
   // sdk::receive_chunked_checkpoint on the peer end).
   sim::Channel::End* chunk_stream = nullptr;
+  // When set, restore() advances the enclave's monotonic counter after the
+  // live migration commits, so every snapshot sealed before the migration is
+  // dead (rollback defense — see store/counter_service.h). Also required by
+  // the snapshot_to_store / restore_from_store paths.
+  store::CounterService* counter_service = nullptr;
 };
 
 // Moves one enclave of `host` from its current instance to the guest's
@@ -77,7 +84,32 @@ class EnclaveMigrator {
                               sdk::EnclaveInstance& source_instance,
                               sdk::ControlMailbox& agent_mailbox);
 
+  // ---- cold migration / crash recovery (store/) ----
+  // Seals the enclave's state into an MGS1 snapshot envelope bound to the
+  // counter service's current value, publishes it in `snapshots` (content
+  // id + per-identity head pointer) and returns the content id. The enclave
+  // keeps running; opts.counter_service must be set.
+  Result<Bytes> snapshot_to_store(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                                  store::SealedSnapshotStore& snapshots,
+                                  const EnclaveMigrateOptions& opts);
+
+  // Restores `host` (which must have no bound instance — after a crash or on
+  // a cold-migration target) from the snapshot object `snapshot_id`, or from
+  // the identity's head pointer when `snapshot_id` is empty. The OPENGRANT
+  // consumes the snapshot's counter epoch: a second restore of the same
+  // envelope, or of any older one, is refused by the service.
+  Status restore_from_store(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                            store::SealedSnapshotStore& snapshots,
+                            ByteSpan snapshot_id,
+                            const EnclaveMigrateOptions& opts);
+
  private:
+  // Channels to counter-service helper threads. Retained for the migrator's
+  // lifetime: a helper whose enclave refused the command in-enclave only
+  // retires at its serve timeout, long after the store call returned — the
+  // channel must still exist then.
+  std::vector<std::unique_ptr<sim::Channel>> counter_channels_;
+
   hv::World* world_;
 };
 
@@ -119,6 +151,10 @@ class VmMigrationSession {
     // EnclaveMigrateOptions (0 chunk_bytes = legacy v1 sealing).
     uint64_t chunk_bytes = 64 * 1024;
     uint64_t seal_workers = 2;
+    // Forwarded to every enclave's EnclaveMigrateOptions: when set, each
+    // committed restore advances the enclave's monotonic counter (rollback
+    // defense for pre-migration snapshots).
+    store::CounterService* counter_service = nullptr;
   };
 
   VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,

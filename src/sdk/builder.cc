@@ -55,7 +55,9 @@ BuildOutput build_enclave_image(const BuildInput& input,
     add_page(0, sgx::PageType::kReg, sgx::Perms::rw(), std::move(meta));
   }
 
-  // Config region (read-only): identity pub | encrypted identity priv | IAS pk.
+  // Config region (read-only): identity pub | encrypted identity priv |
+  // IAS pk | counter-service pk (empty blob when not configured — readers
+  // index blobs sequentially, so the slot is always written).
   {
     Bytes priv = out.owner.identity.sk.to_bytes_padded(160);
     Bytes nonce(12, 0x5e);
@@ -64,6 +66,9 @@ BuildOutput build_enclave_image(const BuildInput& input,
     w.bytes(out.owner.identity.pk.to_bytes_padded(160));
     w.bytes(priv);
     w.bytes(ias_pk.to_bytes_padded(160));
+    w.bytes(input.counter_service_pk
+                ? input.counter_service_pk->to_bytes_padded(160)
+                : Bytes{});
     Bytes config = w.take();
     MIG_CHECK(config.size() <= sgx::kPageSize);
     add_page(l.config_off, sgx::PageType::kReg, sgx::Perms{true, false, false},

@@ -38,6 +38,11 @@ struct BuildInput {
   // SGXv1 corner the paper calls out in §IV-B: such a page cannot be dumped
   // by the control thread, so the enclave is unmigratable. For tests.
   bool include_wx_page = false;
+  // When set, embed the trusted counter service's public key (config blob 3)
+  // so the control thread can authenticate SEALGRANT/OPENGRANT/ADVANCE
+  // replies for the persistent snapshot store. Absent ⇒ snapshot/restore
+  // from the store is refused (the enclave has no root of trust for it).
+  std::optional<crypto::BigNum> counter_service_pk;
 };
 
 struct BuildOutput {
@@ -56,7 +61,8 @@ BuildOutput build_enclave_image(const BuildInput& input,
                                 crypto::Drbg& rng);
 
 // Offsets of the embedded blobs inside the config region (serialized with
-// util/serde): identity_pub | identity_priv_encrypted | ias_pk.
+// util/serde): identity_pub | identity_priv_encrypted | ias_pk |
+// counter_service_pk (empty when the image was built without one).
 Bytes read_config_blob(ByteSpan config_page, int index);
 
 }  // namespace mig::sdk

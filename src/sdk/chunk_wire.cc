@@ -12,6 +12,7 @@ namespace {
 constexpr char kBlobMagic[4] = {'M', 'G', 'C', '2'};
 constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
 constexpr char kEndMagic[4] = {'C', 'E', 'N', 'D'};
+constexpr char kSnapMagic[4] = {'M', 'G', 'S', '1'};
 
 bool has_magic(ByteSpan b, const char (&magic)[4]) {
   if (b.size() < 4) return false;
@@ -124,11 +125,19 @@ Result<Bytes> receive_chunked_checkpoint(sim::ThreadCtx& ctx,
       Reader r(ByteSpan(*frame).subspan(4));
       uint64_t index = r.u64();
       Bytes sealed = r.bytes();
-      if (!r.finish().ok() || index != chunks.size() ||
-          chunks.size() >= kMaxWireChunks)
+      if (!r.finish().ok())
         return Error(ErrorCode::kIntegrityViolation,
-                     "chunk stream: bad frame at position " +
+                     "chunk stream: malformed frame at chunk index " +
                          std::to_string(chunks.size()));
+      if (chunks.size() >= kMaxWireChunks)
+        return Error(ErrorCode::kIntegrityViolation,
+                     "chunk stream: more than " +
+                         std::to_string(kMaxWireChunks) + " chunks");
+      if (index != chunks.size())
+        return Error(ErrorCode::kIntegrityViolation,
+                     "chunk stream: expected chunk index " +
+                         std::to_string(chunks.size()) + ", frame carries " +
+                         std::to_string(index));
       chunks.push_back(std::move(sealed));
       continue;
     }
@@ -144,8 +153,44 @@ Result<Bytes> receive_chunked_checkpoint(sim::ThreadCtx& ctx,
                          std::to_string(chunks.size()));
       return encode_chunked_checkpoint(h, chunks, root);
     }
-    return Error(ErrorCode::kIntegrityViolation, "chunk stream: unknown frame");
+    return Error(ErrorCode::kIntegrityViolation,
+                 "chunk stream: unknown frame at chunk index " +
+                     std::to_string(chunks.size()));
   }
+}
+
+bool is_snapshot_envelope(ByteSpan blob) { return has_magic(blob, kSnapMagic); }
+
+Bytes encode_snapshot_envelope(const SnapshotEnvelope& env) {
+  MIG_CHECK(env.mrenclave.size() == 32);
+  MIG_CHECK(env.counter != 0);
+  Writer w;
+  put_magic(w, kSnapMagic);
+  w.raw(env.mrenclave);
+  w.u64(env.counter);
+  w.bytes(env.inner);
+  return w.take();
+}
+
+Result<SnapshotEnvelope> parse_snapshot_envelope(ByteSpan blob) {
+  if (!is_snapshot_envelope(blob))
+    return Error(ErrorCode::kIntegrityViolation, "not a snapshot envelope");
+  Reader r(blob.subspan(4));
+  SnapshotEnvelope env;
+  env.mrenclave = r.raw(32);
+  env.counter = r.u64();
+  env.inner = r.bytes();
+  if (!r.ok())
+    return Error(ErrorCode::kIntegrityViolation,
+                 "snapshot envelope truncated");
+  MIG_RETURN_IF_ERROR(r.finish());
+  if (env.counter == 0)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "snapshot envelope: counter 0 is never granted");
+  if (env.inner.empty())
+    return Error(ErrorCode::kIntegrityViolation,
+                 "snapshot envelope: empty sealed payload");
+  return env;
 }
 
 }  // namespace mig::sdk

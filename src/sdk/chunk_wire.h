@@ -74,9 +74,38 @@ Bytes encode_end_frame(const ChunkedHeader& header, ByteSpan root);
 // Drains CHNK frames (which must arrive in index order 0,1,2,...) until the
 // CEND frame, reassembling the v2 blob. `timeout_ns` bounds the wait for
 // *each* frame; a quiet or severed link yields kDeadlineExceeded and no
-// partial output escapes.
+// partial output escapes. Errors name the chunk index that failed.
 Result<Bytes> receive_chunked_checkpoint(sim::ThreadCtx& ctx,
                                          sim::Channel::End end,
                                          uint64_t timeout_ns);
+
+// ---- persistent snapshot envelope (store format) ----
+//
+// What the snapshot store persists: the sealed checkpoint (legacy v1 or
+// chunked v2 — ciphertext either way) wrapped with the identity it belongs
+// to and the counter value it was sealed against:
+//
+//   "MGS1" | mrenclave (32 raw bytes) | u64 counter | bytes inner
+//
+// Both outer fields are *bindings*, not trust anchors: the sealing key is
+// HKDF(per-identity root, counter), so a tampered counter or mrenclave
+// selects the wrong key and the inner MAC check fails. The plaintext copies
+// exist so a restorer can ask the counter service for the right grant and
+// refuse obviously-wrong snapshots before paying for a decrypt.
+
+struct SnapshotEnvelope {
+  Bytes mrenclave;      // 32 raw bytes
+  uint64_t counter = 0; // counter value the seal key was derived from (>= 1)
+  Bytes inner;          // sealed checkpoint blob (v1 or v2)
+};
+
+// True iff `blob` starts with the MGS1 magic.
+bool is_snapshot_envelope(ByteSpan blob);
+
+Bytes encode_snapshot_envelope(const SnapshotEnvelope& env);
+
+// Defensive: rejects bad magic, short mrenclave, counter 0, empty inner
+// blob, and trailing bytes.
+Result<SnapshotEnvelope> parse_snapshot_envelope(ByteSpan blob);
 
 }  // namespace mig::sdk

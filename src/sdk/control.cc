@@ -102,6 +102,9 @@ class ControlEngine {
       case ControlCmd::Type::kOwnerRestore: return owner_restore(cmd);
       case ControlCmd::Type::kAgentFetchKey: return agent_fetch_key(cmd);
       case ControlCmd::Type::kAgentServeLocal: return agent_serve_local(cmd);
+      case ControlCmd::Type::kStoreSnapshot: return store_snapshot(cmd);
+      case ControlCmd::Type::kStoreRestore: return store_restore(cmd);
+      case ControlCmd::Type::kAdvanceCounter: return advance_counter(cmd);
       case ControlCmd::Type::kNaiveDump: return naive_dump(cmd);
       case ControlCmd::Type::kShutdown: return {};
     }
@@ -141,6 +144,9 @@ class ControlEngine {
   crypto::BigNum embedded_ias_pk() {
     return crypto::BigNum::from_bytes(config_blob(2));
   }
+  // Counter-service verification key (config blob 3); empty when the image
+  // was built without one — every store command then fails closed.
+  Bytes embedded_counter_pk_blob() { return config_blob(3); }
 
   void wan_round_trip() { env_->ctx().sleep(2 * env_->cost().wan_latency_ns); }
 
@@ -436,8 +442,13 @@ class ControlEngine {
       const Bytes& sc = pc.sealed_chunks[i];
       env_->work(cost.chunk_setup_ns + crypto::cipher_cost_ns(pc.header.alg, sc.size()) +
                  sim::per_byte_x100(cost.sha256_ns_per_byte_x100, sc.size()));
-      MIG_ASSIGN_OR_RETURN(Bytes chunk, opener.open_chunk(i, sc));
-      append(plain, chunk);
+      Result<Bytes> chunk = opener.open_chunk(i, sc);
+      if (!chunk.ok())
+        return Error(chunk.status().code(),
+                     "chunk " + std::to_string(i) + " of " +
+                         std::to_string(pc.sealed_chunks.size()) + ": " +
+                         chunk.status().message());
+      append(plain, *chunk);
     }
     MIG_RETURN_IF_ERROR(opener.verify_root(pc.header.chunk_count, pc.root));
     if (plain.size() != pc.header.total_bytes)
@@ -864,6 +875,193 @@ class ControlEngine {
     return restore_with_key(cmd, *kencrypt);
   }
 
+  // ---- persistent snapshot store (store/, rollback defense) -------------------
+  struct CounterGrant {
+    uint64_t counter = 0;
+    Bytes key;  // empty for ADVANCE (no sealing key comes back)
+  };
+
+  // Attested key exchange with the monotonic-counter service. Mirrors
+  // owner_key_exchange, with two additions: the request carries a counter
+  // argument, and the reply must verify under the counter-service public key
+  // baked into the image (config blob 3) over a transcript that includes our
+  // fresh DH value — so the untrusted operator relaying these messages can
+  // drop a grant (availability) but can neither forge nor replay one.
+  Result<CounterGrant> counter_key_exchange(sim::Channel::End& ch,
+                                            std::string_view verb,
+                                            uint64_t counter_arg,
+                                            uint64_t timeout_ns) {
+    Bytes pk_blob = embedded_counter_pk_blob();
+    if (pk_blob.empty())
+      return Error(ErrorCode::kFailedPrecondition,
+                   "image built without a counter-service key");
+    env_->work(env_->cost().dh_keygen_ns);
+    crypto::DhKeyPair kp = crypto::dh_generate(deps_->rng);
+    Bytes dh_pub = kp.pub.to_bytes_padded(128);
+    crypto::Digest bind = crypto::Sha256::hash(dh_pub);
+    MIG_ASSIGN_OR_RETURN(sgx::Report report,
+                         env_->ereport(deps_->qe->target_info(), bind));
+    MIG_ASSIGN_OR_RETURN(sgx::Quote quote,
+                         deps_->qe->quote(env_->ctx(), report));
+    Writer req;
+    req.str(std::string(verb));
+    req.u64(counter_arg);
+    req.bytes(dh_pub);
+    req.bytes(quote.serialize());
+    wan_round_trip();
+    ch.send(env_->ctx(), req.take());
+    std::optional<Bytes> reply_in = ch.recv_timeout(env_->ctx(), timeout_ns);
+    if (!reply_in.has_value())
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "counter service never answered");
+    Bytes reply = std::move(*reply_in);
+    Reader r(reply);
+    std::string tag = r.str();
+    uint64_t counter = r.u64();
+    Bytes dh_pub_s = r.bytes();
+    Bytes enc = r.bytes();
+    Bytes sig = r.bytes();
+    MIG_RETURN_IF_ERROR(r.finish());
+    if (tag != "CTRGRANT")
+      return Error(ErrorCode::kPermissionDenied,
+                   "counter service refused: " + tag);
+    Writer transcript;
+    transcript.str("ctr-reply");
+    transcript.str(std::string(verb));
+    transcript.u64(counter);
+    transcript.bytes(dh_pub);
+    transcript.bytes(dh_pub_s);
+    transcript.bytes(enc);
+    env_->work(env_->cost().sig_verify_ns);
+    if (!crypto::sig_verify(crypto::BigNum::from_bytes(pk_blob),
+                            transcript.data(), sig))
+      return Error(ErrorCode::kAuthFailure,
+                   "counter-service signature invalid");
+    if (counter == 0)
+      return Error(ErrorCode::kAuthFailure, "counter 0 is never granted");
+    CounterGrant grant;
+    grant.counter = counter;
+    if (!enc.empty()) {
+      env_->work(env_->cost().dh_shared_ns);
+      MIG_ASSIGN_OR_RETURN(
+          Bytes shared,
+          crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_s)));
+      Bytes session = crypto::hkdf(to_bytes("ctr-channel"), shared, dh_pub, 32);
+      MIG_ASSIGN_OR_RETURN(grant.key, crypto::open(session, enc));
+    }
+    return grant;
+  }
+
+  // Stale-fork fence: the service counter moved past this instance's epoch,
+  // so another instance of this enclave was restored (or committed a live
+  // migration) meanwhile. At-most-one-live-lease says this copy dies, the
+  // same way a post-serve source does: global flag stays set forever, every
+  // worker the OS resumes spins forever.
+  ControlReply fence_stale_epoch() {
+    env_->write_u64(kOffGlobalFlag, 1);
+    env_->write_u64(kOffSelfDestroyed, 1);
+    obs::instant(env_->ctx(), "store.fenced", "sdk");
+    obs::metrics().add("store.fences");
+    return fail(ErrorCode::kAborted,
+                "counter advanced past this instance's epoch; self-destroyed");
+  }
+
+  // ---- kStoreSnapshot ---------------------------------------------------------
+  ControlReply store_snapshot(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no counter-service channel");
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    uint64_t epoch = env_->read_u64(kOffCounterEpoch);
+    auto grant = counter_key_exchange(*cmd.channel, "SEALGRANT", epoch,
+                                      cmd.channel_timeout_ns);
+    if (!grant.ok())
+      return fail(grant.status().code(), grant.status().message());
+    if (epoch != 0 && grant->counter != epoch) return fence_stale_epoch();
+    // Record the binding before capture, so the snapshot's own meta page
+    // carries the epoch it was sealed at.
+    env_->write_u64(kOffCounterEpoch, grant->counter);
+    reach_quiescent_point();
+    charge_dump_ = cmd.chunk_bytes == 0;
+    auto c = capture();
+    charge_dump_ = true;
+    if (!c.ok()) {
+      env_->write_u64(kOffGlobalFlag, 0);
+      return fail(c.status().code(), c.status().message());
+    }
+    SnapshotEnvelope envelope;
+    crypto::Digest mre = own_mrenclave();
+    envelope.mrenclave.assign(mre.begin(), mre.end());
+    envelope.counter = grant->counter;
+    envelope.inner = seal_checkpoint(*c, grant->key, cmd);
+    // A snapshot is not a migration: execution continues right away.
+    env_->write_u64(kOffGlobalFlag, 0);
+    obs::metrics().add("store.snapshots_sealed");
+    ControlReply reply;
+    reply.blob = encode_snapshot_envelope(envelope);
+    return reply;
+  }
+
+  // ---- kStoreRestore ----------------------------------------------------------
+  ControlReply store_restore(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no counter-service channel");
+    auto envelope = parse_snapshot_envelope(cmd.blob);
+    if (!envelope.ok())
+      return fail(envelope.status().code(),
+                  "snapshot rejected: " + envelope.status().message());
+    if (!crypto::ct_equal(ByteSpan(envelope->mrenclave),
+                          ByteSpan(own_mrenclave())))
+      return fail(ErrorCode::kAuthFailure,
+                  "snapshot belongs to a different enclave");
+    // OPENGRANT consumes the epoch: it succeeds only if the envelope's
+    // counter is still current, and the counter advances past it — the same
+    // snapshot can never be opened twice. The outer counter field is only a
+    // hint; tampering with it yields a key for the wrong counter value and
+    // the MAC check below rejects the payload.
+    auto grant = counter_key_exchange(*cmd.channel, "OPENGRANT",
+                                      envelope->counter,
+                                      cmd.channel_timeout_ns);
+    if (!grant.ok())
+      return fail(grant.status().code(), grant.status().message());
+    cmd.blob = std::move(envelope->inner);
+    ControlReply reply = restore_with_key(cmd, grant->key);
+    if (!reply.status.ok()) return reply;
+    // restore_with_key rewrote the meta page with the snapshot's (older)
+    // epoch; this instance's lease is the value OPENGRANT advanced to.
+    env_->write_u64(kOffCounterEpoch, grant->counter);
+    obs::metrics().add("store.snapshots_opened");
+    return reply;
+  }
+
+  // ---- kAdvanceCounter --------------------------------------------------------
+  // Posted by the migration layer after a committed live migration: bump the
+  // counter so every snapshot sealed before the migration is dead ciphertext
+  // (rollback defense for the live path).
+  ControlReply advance_counter(ControlCmd& cmd) {
+    if (!cmd.channel.has_value())
+      return fail(ErrorCode::kInvalidArgument, "no counter-service channel");
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    uint64_t epoch = env_->read_u64(kOffCounterEpoch);
+    auto grant = counter_key_exchange(*cmd.channel, "ADVANCE", epoch,
+                                      cmd.channel_timeout_ns);
+    if (!grant.ok()) {
+      // A refusal means the lease is gone: another instance advanced past
+      // us. Fence conservatively — a forged refusal only achieves what the
+      // operator could do anyway (kill this instance); it can never produce
+      // two live leases. Timeouts and bad signatures keep the epoch: purely
+      // an availability failure, the caller may retry.
+      if (grant.status().code() == ErrorCode::kPermissionDenied)
+        return fence_stale_epoch();
+      return fail(grant.status().code(), grant.status().message());
+    }
+    env_->write_u64(kOffCounterEpoch, grant->counter);
+    obs::instant(env_->ctx(), "store.counter_advanced", "sdk",
+                 {{"epoch", grant->counter}});
+    return {};
+  }
+
   // ---- agent-enclave roles (§VI-D) ---------------------------------------------
   // Agent key store: (mrenclave, key) entries in the agent's heap. The
   // count lives at kOffAgentHasKey; entry i at heap_off + 64*i.
@@ -983,6 +1181,9 @@ const char* cmd_name(ControlCmd::Type t) {
     case ControlCmd::Type::kOwnerRestore: return "ctl.owner_restore";
     case ControlCmd::Type::kAgentFetchKey: return "ctl.agent_fetch_key";
     case ControlCmd::Type::kAgentServeLocal: return "ctl.agent_serve_local";
+    case ControlCmd::Type::kStoreSnapshot: return "ctl.store_snapshot";
+    case ControlCmd::Type::kStoreRestore: return "ctl.store_restore";
+    case ControlCmd::Type::kAdvanceCounter: return "ctl.advance_counter";
     case ControlCmd::Type::kNaiveDump: return "ctl.naive_dump";
     case ControlCmd::Type::kShutdown: return "ctl.shutdown";
   }

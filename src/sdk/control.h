@@ -32,6 +32,20 @@
 //                        SSA frames, unset flags.
 //   kOwnerCheckpoint / kOwnerRestore — §V-C legal checkpoint/resume with an
 //                        owner-issued Kencrypt (audited on the owner side).
+//   kStoreSnapshot     — persistent snapshot: fetch a SEALGRANT from the
+//                        counter service (store/counter_service.h), fence
+//                        against a stale epoch, then run the two-phase
+//                        checkpoint under the counter-bound sealing key and
+//                        return an MGS1 snapshot envelope. The enclave keeps
+//                        running afterwards.
+//   kStoreRestore      — cold-migration / crash-recovery restore: parse the
+//                        envelope defensively, OPENGRANT its counter value
+//                        (consuming the epoch — each snapshot opens at most
+//                        once), restore memory, record the new epoch.
+//   kAdvanceCounter    — posted after a committed live migration: advance
+//                        the counter so every pre-migration snapshot is dead
+//                        (rollback defense). A refusal means this instance
+//                        lost the at-most-one-live-lease race: self-destroy.
 //   kShutdown          — leave the enclave so EREMOVE can proceed.
 #pragma once
 
@@ -70,6 +84,9 @@ struct ControlCmd {
     kOwnerRestore,
     kAgentFetchKey,   // agent role: obtain Kmigrate from the source enclave
     kAgentServeLocal, // agent role: answer one local-attestation key request
+    kStoreSnapshot,   // persistent snapshot under a counter-bound seal key
+    kStoreRestore,    // cold restore from a snapshot envelope
+    kAdvanceCounter,  // invalidate pre-migration snapshots (rollback defense)
     // STRAWMAN used by the §IV-A attack demonstration: dump immediately,
     // trusting that the (untrusted!) OS already stopped the worker threads.
     // The paper's design never uses this; attacks/ does.

@@ -243,6 +243,17 @@ Status EnclaveHost::destroy(sim::ThreadCtx& ctx) {
   return st;
 }
 
+void EnclaveHost::crash_instance(sim::ThreadCtx& ctx) {
+  mark_instance_lost();
+  if (instance_ == nullptr) return;
+  // No shutdown handshake: the EPC vanishes under the control thread. That
+  // (daemon) thread stays parked in its mailbox wait forever, so the mailbox
+  // must outlive the instance — the untrusted shared page survives the
+  // enclave. Stash the whole instance instead of freeing it.
+  os_->crash_enclave(ctx, *process_, instance_->eid);
+  crashed_.push_back(std::move(instance_));
+}
+
 Status EnclaveHost::pump_cssa(sim::ThreadCtx& ctx, uint64_t worker_idx,
                               uint64_t pumps) {
   MIG_CHECK(worker_idx < workers_.size());

@@ -53,6 +53,11 @@ class EnclaveHost {
   // rebuild cost comes from here).
   Status create(sim::ThreadCtx& ctx);
   Status destroy(sim::ThreadCtx& ctx);
+  // Crash model: the enclave's EPC is wiped abruptly (power loss / VM kill)
+  // — no control-thread shutdown handshake, busy TCSs ignored. The instance
+  // is dropped and the host marked lost; a later create() + store restore
+  // is the only way back. For crash-recovery tests.
+  void crash_instance(sim::ThreadCtx& ctx);
 
   // Synchronous ecall on worker `worker_idx`; survives migration.
   Result<Bytes> ecall(sim::ThreadCtx& ctx, uint64_t worker_idx, uint64_t id,
@@ -132,6 +137,9 @@ class EnclaveHost {
   BuildOutput built_;
   crypto::Drbg rng_;
   std::unique_ptr<EnclaveInstance> instance_;
+  // Instances killed by crash_instance(): their control threads never exited
+  // their mailbox wait, so the mailbox memory must stay alive.
+  std::vector<std::unique_ptr<EnclaveInstance>> crashed_;
   std::vector<HostThread> workers_;
   bool parked_ = false;
   bool instance_lost_ = false;

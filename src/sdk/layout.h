@@ -46,6 +46,8 @@ inline constexpr uint64_t kOffPumpMode = 8;         // u64: CSSA-restore pumping
 inline constexpr uint64_t kOffNumWorkers = 16;      // u64 (runtime mirror)
 inline constexpr uint64_t kOffProvisioned = 24;     // u64: identity key present
 inline constexpr uint64_t kOffSelfDestroyed = 32;   // u64: never resume again
+inline constexpr uint64_t kOffCounterEpoch = 40;    // u64: counter-service epoch
+                                                    // (0 = never sealed/restored)
 inline constexpr uint64_t kOffKeyServed = 48;       // u64: Kmigrate delivered
 inline constexpr uint64_t kOffAgentHasKey = 56;     // u64: agent role holds key
 inline constexpr uint64_t kOffIdentityPriv = 64;    // 160 B: plaintext identity sk

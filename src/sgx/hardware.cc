@@ -217,6 +217,18 @@ Status SgxHardware::eremove_enclave(sim::ThreadCtx& ctx, EnclaveId eid) {
   return OkStatus();
 }
 
+void SgxHardware::force_reclaim_enclave(sim::ThreadCtx& ctx, EnclaveId eid) {
+  // Power loss / VM kill: EPC is volatile, so the enclave's pages simply
+  // cease to exist — busy TCSs and all. No software ever sees the plaintext;
+  // threads "inside" at the moment of death never run again.
+  Enclave* enc = find(eid);
+  if (enc == nullptr) return;
+  ctx.work_atomic(cost_->eremove_ns_per_page);
+  for (const auto& [lin, slot] : enc->pages) epc_[slot] = EpcPage{};
+  epc_[enc->secs_slot] = EpcPage{};
+  enclaves_.erase(eid);
+}
+
 // ------------------------------------------------------------------ paging
 
 Result<uint64_t> SgxHardware::epa(sim::ThreadCtx& ctx) {

@@ -89,6 +89,10 @@ class SgxHardware {
   Status einit(sim::ThreadCtx& ctx, EnclaveId eid, const SigStruct& sig);
   Status eremove_page(sim::ThreadCtx& ctx, EnclaveId eid, uint64_t lin_addr);
   Status eremove_enclave(sim::ThreadCtx& ctx, EnclaveId eid);
+  // Crash model (NOT an instruction): models power loss / VM kill wiping the
+  // volatile EPC. Unlike EREMOVE it ignores busy TCSs — threads that were
+  // inside the enclave simply never run again. No-op on unknown eids.
+  void force_reclaim_enclave(sim::ThreadCtx& ctx, EnclaveId eid);
 
   // ---- EPC paging (privileged software) -------------------------------------
   // EPA: allocates a Version Array page; returns its id.

@@ -84,6 +84,16 @@ struct CostModel {
   // GbE: ~8 ns/B ≈ 125 MB/s.
   uint64_t chunk_stream_ns_per_byte_x100 = 800;
 
+  // ---- persistent snapshot store (disk model) ----
+  // Shared-storage class device (the paper's testbed uses NFS shared
+  // storage): ~200 MB/s sequential writes, slightly faster reads, plus a
+  // fixed seek/commit cost per object and a metadata-sync cost for the
+  // atomic head pointer flip.
+  uint64_t disk_write_ns_per_byte_x100 = 500;   // 5 ns/B ≈ 200 MB/s
+  uint64_t disk_read_ns_per_byte_x100 = 400;    // 4 ns/B ≈ 250 MB/s
+  uint64_t disk_seek_ns = 2'000'000;            // open/seek/commit per object
+  uint64_t disk_sync_ns = 500'000;              // head-pointer metadata flush
+
   // ---- network (migration link) ----
   // Effective migration throughput including QEMU 2.5-era page processing:
   // ~33 MB/s, which reproduces the paper's ~30 s total for a 2 GB guest.

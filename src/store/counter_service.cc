@@ -1,0 +1,146 @@
+#include "store/counter_service.h"
+
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/serde.h"
+
+namespace mig::store {
+
+CounterService::CounterService(sgx::AttestationService& ias, crypto::Drbg rng)
+    : ias_(&ias), rng_(std::move(rng)) {
+  crypto::Drbg sig_rng = rng_.fork(to_bytes("ctr-sig"));
+  sig_ = crypto::sig_keygen(sig_rng);
+  kroot_ = rng_.fork(to_bytes("ctr-root")).generate(32);
+}
+
+uint64_t CounterService::counter(const crypto::Digest& mrenclave) const {
+  auto it = counters_.find(Bytes(mrenclave.begin(), mrenclave.end()));
+  return it == counters_.end() ? 1 : it->second;
+}
+
+Bytes CounterService::key_for(ByteSpan mrenclave, uint64_t counter) {
+  Writer info;
+  info.raw(mrenclave);
+  info.u64(counter);
+  return crypto::hkdf(to_bytes("store-counter"), kroot_, info.data(), 32);
+}
+
+void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
+  // Bounded wait: helper threads serving an enclave that refuses its store
+  // command in-enclave (self-destroyed fence, rejected envelope) never see a
+  // request at all — they must retire instead of parking forever.
+  std::optional<Bytes> request_in = end.recv_timeout(ctx, kServeTimeoutNs);
+  if (!request_in.has_value()) return;
+  Bytes request = std::move(*request_in);
+  if (!available_) {
+    // Outage model: the request is lost, no reply ever comes. The enclave's
+    // channel timeout makes the store operation fail closed.
+    obs::instant(ctx, "store.counter.dropped", "store");
+    return;
+  }
+  obs::Span<sim::ThreadCtx> span(ctx, "store.counter.serve", "store");
+  obs::metrics().add("store.counter.requests");
+  Reader r(request);
+  std::string verb = r.str();
+  uint64_t counter_arg = r.u64();
+  Bytes dh_pub_e = r.bytes();
+  Bytes quote_wire = r.bytes();
+  auto refuse = [&](std::string why) {
+    obs::instant(ctx, "store.counter.refused", "store", {{"why", why}});
+    obs::metrics().add("store.counter.refusals");
+    Writer w;
+    w.str("REFUSED:" + why);
+    w.u64(0);
+    w.bytes({});
+    w.bytes({});
+    w.bytes({});
+    end.send(ctx, w.take());
+  };
+  if (!r.finish().ok()) return refuse("malformed");
+
+  auto quote = sgx::Quote::deserialize(quote_wire);
+  if (!quote.ok()) return refuse("bad quote");
+  ctx.sleep(2 * sim::default_cost_model().wan_latency_ns);
+  sgx::AttestationVerdict verdict =
+      ias_->verify(ctx, *quote, rng_.generate(16));
+  if (!verdict.ok) return refuse("attestation failed");
+  crypto::Digest bind = crypto::Sha256::hash(dh_pub_e);
+  if (!crypto::ct_equal(ByteSpan(verdict.report_data), ByteSpan(bind)))
+    return refuse("quote does not bind DH value");
+
+  // No enrollment: the quote *is* the identity. First contact creates the
+  // identity's counter at 1.
+  Bytes id(verdict.mrenclave.begin(), verdict.mrenclave.end());
+  auto [it, created] = counters_.try_emplace(std::move(id), 1);
+  uint64_t& current = it->second;
+
+  uint64_t reply_counter = 0;
+  Bytes key;
+  if (verb == "SEALGRANT") {
+    // Key for the current value; the counter does not move. The reply also
+    // tells a stale fork that the world moved on (it compares against its
+    // in-enclave epoch and self-destroys).
+    reply_counter = current;
+    key = key_for(it->first, current);
+    obs::metrics().add("store.counter.grants");
+  } else if (verb == "OPENGRANT") {
+    if (counter_arg != current)
+      return refuse("stale snapshot counter");
+    // The restore consumes the epoch: key for c, counter moves to c+1, and
+    // the restored instance records c+1 as its epoch.
+    key = key_for(it->first, current);
+    current += 1;
+    reply_counter = current;
+    obs::metrics().add("store.counter.grants");
+  } else if (verb == "ADVANCE") {
+    if (counter_arg != 0 && counter_arg != current)
+      return refuse("stale counter epoch");
+    current += 1;
+    reply_counter = current;
+    obs::metrics().add("store.counter.advances");
+  } else {
+    return refuse("unknown verb");
+  }
+  audit_.push_back(
+      CounterAuditEntry{verb, verdict.mrenclave, current, ctx.now()});
+  obs::instant(ctx, "store.counter.granted", "store",
+               {{"verb", verb}, {"counter", reply_counter}});
+
+  ctx.work(sim::default_cost_model().dh_keygen_ns +
+           sim::default_cost_model().dh_shared_ns);
+  crypto::DhKeyPair kp = crypto::dh_generate(rng_);
+  auto shared =
+      crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(dh_pub_e));
+  if (!shared.ok()) return refuse("degenerate DH value");
+  Bytes session = crypto::hkdf(to_bytes("ctr-channel"), *shared, dh_pub_e, 32);
+  Bytes dh_pub_s = kp.pub.to_bytes_padded(128);
+  Bytes enc_key =
+      key.empty() ? Bytes{}
+                  : crypto::seal(crypto::CipherAlg::kChaCha20, session, key);
+
+  // Sign the whole transcript. dh_pub_e is fresh per request, so the
+  // signature doubles as the anti-replay binding: a recorded CTRGRANT for an
+  // old counter value verifies against no other request.
+  Writer transcript;
+  transcript.str("ctr-reply");
+  transcript.str(verb);
+  transcript.u64(reply_counter);
+  transcript.bytes(dh_pub_e);
+  transcript.bytes(dh_pub_s);
+  transcript.bytes(enc_key);
+  ctx.work(sim::default_cost_model().sig_sign_ns);
+  Bytes sig = crypto::sig_sign(sig_.sk, transcript.data(), rng_);
+
+  Writer w;
+  w.str("CTRGRANT");
+  w.u64(reply_counter);
+  w.bytes(dh_pub_s);
+  w.bytes(enc_key);
+  w.bytes(sig);
+  end.send(ctx, w.take());
+}
+
+}  // namespace mig::store

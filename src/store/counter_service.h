@@ -1,0 +1,99 @@
+// Simulated trusted monotonic-counter service (the rollback defense of
+// Alder et al., "Migrating SGX Enclaves with Persistent State", and of the
+// paper's §V-C audit discussion, generalized to an *at-most-one-live-lease*
+// invariant).
+//
+// The service keeps one monotonic counter per enclave identity (MRENCLAVE)
+// and derives the snapshot sealing key from (identity, counter value), so a
+// sealed snapshot is cryptographically bound to the counter value current at
+// seal time. The protocol verbs:
+//
+//   SEALGRANT       — return the current counter c and the sealing key for
+//                     c. Does NOT advance. The enclave fences itself: if its
+//                     in-enclave epoch (sdk::kOffCounterEpoch) is non-zero
+//                     and != c, another instance advanced past it — it is a
+//                     stale fork and self-destroys.
+//   OPENGRANT c     — grant the key for c iff c is still current, then
+//                     advance to c+1 (the restore CONSUMES the epoch: the
+//                     same snapshot can never be opened twice, and every
+//                     older snapshot is dead). The reply carries c+1, the
+//                     epoch the restored instance records.
+//   ADVANCE e       — advance the counter iff e is current (or 0 = never
+//                     sealed). Posted after a committed live migration to
+//                     invalidate every pre-migration snapshot. A refusal
+//                     means the caller lost the lease and must self-destroy.
+//
+// Requests are attestation-gated exactly like the owner protocol: the quote
+// must bind SHA-256 of the requester's fresh DH public value. Replies are
+// Schnorr-signed over the full transcript (including that fresh DH value, so
+// a reply cannot be replayed) with a service key whose public half is baked
+// into the enclave image as config blob 3 — a man-in-the-middle operator can
+// drop messages (availability) but cannot forge a grant or an advance
+// acknowledgement.
+//
+// Like EnclaveOwner, this runs far away from the untrusted cloud; the WAN
+// round trip is charged on the enclave side (wan_round_trip) and the IAS
+// round trip here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "sgx/attestation.h"
+#include "sim/network.h"
+
+namespace mig::store {
+
+struct CounterAuditEntry {
+  std::string verb;  // "SEALGRANT" | "OPENGRANT" | "ADVANCE"
+  crypto::Digest mrenclave{};
+  uint64_t counter = 0;  // the counter value after serving the request
+  uint64_t at_ns = 0;
+};
+
+class CounterService {
+ public:
+  CounterService(sgx::AttestationService& ias, crypto::Drbg rng);
+
+  // The verification key enclaves need at build time (config blob 3).
+  const crypto::BigNum& public_key() const { return sig_.pk; }
+
+  // Serves at most one request arriving on `end`. Runs on the caller's
+  // thread; typically spawned as a helper sim thread concurrently with the
+  // enclave's mailbox command. When the service is unavailable the request
+  // is swallowed without a reply — the enclave's channel timeout fires and
+  // the operation fails closed. When no request arrives within the serve
+  // timeout (the enclave refused its store command before contacting us),
+  // the call returns without serving.
+  void serve_one(sim::ThreadCtx& ctx, sim::Channel::End end);
+
+  // How long serve_one waits (virtual time) for a request to arrive.
+  static constexpr uint64_t kServeTimeoutNs = 60'000'000'000;  // 60 s
+
+  // Fault knob: an unreachable counter service (network partition, outage).
+  void set_available(bool available) { available_ = available; }
+
+  // Current counter for an identity (1 if it never contacted the service).
+  uint64_t counter(const crypto::Digest& mrenclave) const;
+
+  const std::vector<CounterAuditEntry>& audit_log() const { return audit_; }
+
+ private:
+  // Sealing key bound to (identity, counter value).
+  Bytes key_for(ByteSpan mrenclave, uint64_t counter);
+
+  sgx::AttestationService* ias_;
+  crypto::Drbg rng_;
+  crypto::SigKeyPair sig_;  // reply-signing key; pk is config blob 3
+  Bytes kroot_;             // root secret for per-(identity, counter) keys
+  // Counters keyed by mrenclave bytes. Any attested enclave gets a slot
+  // starting at 1 — no enrollment step, identity is the quote.
+  std::map<Bytes, uint64_t> counters_;
+  std::vector<CounterAuditEntry> audit_;
+  bool available_ = true;
+};
+
+}  // namespace mig::store

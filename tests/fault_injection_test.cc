@@ -494,5 +494,171 @@ TEST(FaultRecovery, CancelledMigrationCanBeRetriedSuccessfully) {
   ASSERT_TRUE(world.executor().run());
 }
 
+// ---------------------------------------------------------------------------
+// Store failure matrix: faults against the durable snapshot path. A torn
+// write must leave no partial snapshot behind, an unreachable counter
+// service must fail the restore closed (bounded, clean error, retryable),
+// and a stale head served by the untrusted store must be refused by the
+// counter check.
+
+struct StoreFaultBed {
+  hv::World world{4};
+  hv::Machine* source = &world.add_machine("src");
+  hv::Vm vm{hv::VmConfig{}, hv::DirtyModel{}};
+  guestos::GuestOs guest{*source, vm};
+  guestos::Process* process = &guest.create_process("app");
+  crypto::Drbg rng{to_bytes("store-fault")};
+  crypto::SigKeyPair signer = [] {
+    crypto::Drbg r(to_bytes("dev"));
+    return crypto::sig_keygen(r);
+  }();
+  migration::EnclaveOwner owner{world.ias(), crypto::Drbg(to_bytes("own"))};
+  store::CounterService counters{world.ias(), crypto::Drbg(to_bytes("ctr"))};
+  store::SealedSnapshotStore snapshots;
+  migration::EnclaveMigrator migrator{world};
+
+  std::unique_ptr<sdk::EnclaveHost> make_host() {
+    sdk::BuildInput in;
+    in.program = make_counter_program();
+    in.layout.num_workers = 2;
+    in.counter_service_pk = counters.public_key();
+    sdk::BuildOutput built =
+        sdk::build_enclave_image(in, signer, world.ias().service_pk(), rng);
+    owner.enroll(built.image.measure(), built.owner);
+    return std::make_unique<sdk::EnclaveHost>(guest, *process,
+                                              std::move(built), world.ias(),
+                                              rng.fork(to_bytes("h")));
+  }
+
+  migration::EnclaveMigrateOptions opts() {
+    migration::EnclaveMigrateOptions o;
+    o.counter_service = &counters;
+    return o;
+  }
+
+  void provision(sim::ThreadCtx& ctx, sdk::EnclaveHost& host) {
+    auto ch = world.make_channel();
+    world.executor().spawn("owner", [this, c = ch.get()](sim::ThreadCtx& t) {
+      owner.serve_one(t, c->b());
+    });
+    sdk::ControlCmd cmd;
+    cmd.type = sdk::ControlCmd::Type::kProvision;
+    cmd.channel = ch->a();
+    ASSERT_TRUE(host.mailbox().post(ctx, cmd).status.ok());
+  }
+
+  void add(sim::ThreadCtx& ctx, sdk::EnclaveHost& host, uint64_t delta) {
+    Writer w;
+    w.u64(delta);
+    ASSERT_TRUE(host.ecall(ctx, 0, kEcallAdd, w.data()).ok());
+  }
+
+  uint64_t get(sim::ThreadCtx& ctx, sdk::EnclaveHost& host) {
+    auto got = host.ecall(ctx, 0, kEcallGet, {});
+    if (!got.ok()) return ~0ull;
+    Reader r(*got);
+    return r.u64();
+  }
+};
+
+TEST(StoreFault, TornWriteMidSealLeavesNoPartialSnapshot) {
+  StoreFaultBed bed;
+  auto host = bed.make_host();
+  bed.world.executor().spawn("test", [&](sim::ThreadCtx& ctx) {
+    ASSERT_TRUE(host->create(ctx).ok());
+    bed.provision(ctx, *host);
+    bed.add(ctx, *host, 5);
+
+    bed.snapshots.fail_next_put_torn();
+    auto id = bed.migrator.snapshot_to_store(ctx, *host, bed.snapshots,
+                                             bed.opts());
+    EXPECT_EQ(id.status().code(), ErrorCode::kUnavailable)
+        << id.status().to_string();
+    // Atomicity: nothing became visible — no object, no head pointer.
+    EXPECT_EQ(bed.snapshots.object_count(), 0u);
+    EXPECT_EQ(bed.snapshots.torn_writes(), 1u);
+    crypto::Digest mre = host->image().measure();
+    EXPECT_EQ(bed.snapshots.head(ctx, Bytes(mre.begin(), mre.end()))
+                  .status().code(),
+              ErrorCode::kNotFound);
+
+    // The enclave is unharmed and the very next attempt commits.
+    bed.add(ctx, *host, 1);
+    auto retry = bed.migrator.snapshot_to_store(ctx, *host, bed.snapshots,
+                                                bed.opts());
+    ASSERT_TRUE(retry.ok()) << retry.status().to_string();
+    EXPECT_EQ(bed.snapshots.object_count(), 1u);
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
+TEST(StoreFault, CounterServiceDownFailsRestoreClosed) {
+  StoreFaultBed bed;
+  auto host = bed.make_host();
+  bed.world.executor().spawn("test", [&](sim::ThreadCtx& ctx) {
+    ASSERT_TRUE(host->create(ctx).ok());
+    bed.provision(ctx, *host);
+    bed.add(ctx, *host, 8);
+    auto id = bed.migrator.snapshot_to_store(ctx, *host, bed.snapshots,
+                                             bed.opts());
+    ASSERT_TRUE(id.ok());
+    host->crash_instance(ctx);
+
+    // Service partitioned away: without an OPENGRANT there is no sealing
+    // key. The restore fails closed after the bounded channel timeout and
+    // leaves no half-bound instance.
+    bed.counters.set_available(false);
+    uint64_t t0 = ctx.now();
+    Status st = bed.migrator.restore_from_store(ctx, *host, bed.snapshots,
+                                                {}, bed.opts());
+    EXPECT_EQ(st.code(), ErrorCode::kDeadlineExceeded) << st.to_string();
+    EXPECT_LT(ctx.now() - t0, 60'000'000'000ull);
+    EXPECT_EQ(host->instance(), nullptr);
+
+    // Pure availability failure: once the service heals, the same head
+    // restores fine (the epoch was never consumed).
+    bed.counters.set_available(true);
+    ASSERT_TRUE(bed.migrator.restore_from_store(ctx, *host, bed.snapshots,
+                                                {}, bed.opts()).ok());
+    EXPECT_EQ(bed.get(ctx, *host), 8u);
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
+TEST(StoreFault, StaleHeadFromUntrustedStoreIsRefusedByCounter) {
+  StoreFaultBed bed;
+  auto host = bed.make_host();
+  bed.world.executor().spawn("test", [&](sim::ThreadCtx& ctx) {
+    ASSERT_TRUE(host->create(ctx).ok());
+    bed.provision(ctx, *host);
+    bed.add(ctx, *host, 2);
+    auto a = bed.migrator.snapshot_to_store(ctx, *host, bed.snapshots,
+                                            bed.opts());
+    ASSERT_TRUE(a.ok());
+    host->crash_instance(ctx);
+    ASSERT_TRUE(bed.migrator.restore_from_store(ctx, *host, bed.snapshots,
+                                                {}, bed.opts()).ok());
+    bed.add(ctx, *host, 3);
+    auto b = bed.migrator.snapshot_to_store(ctx, *host, bed.snapshots,
+                                            bed.opts());
+    ASSERT_TRUE(b.ok());
+    host->crash_instance(ctx);
+
+    // A rollback-minded store serves yesterday's head. The envelope parses,
+    // the identity matches — but its counter epoch was consumed by the first
+    // restore, so the service refuses the OPENGRANT.
+    bed.snapshots.serve_stale_head_once();
+    Status st = bed.migrator.restore_from_store(ctx, *host, bed.snapshots,
+                                                {}, bed.opts());
+    EXPECT_EQ(st.code(), ErrorCode::kPermissionDenied) << st.to_string();
+
+    // The honest head still restores: latest state, nothing lost.
+    ASSERT_TRUE(bed.migrator.restore_from_store(ctx, *host, bed.snapshots,
+                                                {}, bed.opts()).ok());
+    EXPECT_EQ(bed.get(ctx, *host), 5u);
+  });
+  ASSERT_TRUE(bed.world.executor().run());
+}
+
 }  // namespace
 }  // namespace mig

@@ -15,6 +15,8 @@
 #include "sdk/host.h"
 #include "sim/fault.h"
 #include "sim/rng.h"
+#include "store/counter_service.h"
+#include "store/snapshot_store.h"
 #include "util/serde.h"
 
 namespace mig {
@@ -341,6 +343,163 @@ TEST_P(FaultAtomicitySweep, ExactlyOneRunnableEnclaveEverSurvives) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultAtomicitySweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42, 99,
                                            1337, 4096, 0xfa17));
+
+// ---- at-most-one-live-lease interleavings -----------------------------------
+//
+// Property: across ANY interleaving of {live-migrate, snapshot, crash,
+// restore} — including fork attempts that restore a snapshot into a second
+// enclave of the same identity while the first is still running — at most
+// one instance ever holds a live lease (i.e. can still seal at the current
+// counter epoch). Stale forks fence themselves at their next counter
+// interaction; the counter service never goes backwards.
+
+class LeaseInterleavingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeaseInterleavingSweep, AtMostOneInstanceEverHoldsTheLease) {
+  sim::Rng rnd(GetParam());
+  hv::World world{4};
+  hv::Machine& m_a = world.add_machine("site-a");
+  hv::Machine& m_b = world.add_machine("site-b");
+  hv::Machine& m_c = world.add_machine("site-c");
+  hv::Vm vm_a{hv::VmConfig{}, hv::DirtyModel{}};
+  hv::Vm vm_b{hv::VmConfig{}, hv::DirtyModel{}};
+  guestos::GuestOs guest_a{m_a, vm_a};
+  guestos::GuestOs guest_b{m_b, vm_b};
+  guestos::Process* proc_a = &guest_a.create_process("app-a");
+  guestos::Process* proc_b = &guest_b.create_process("app-b");
+  crypto::Drbg srng(to_bytes("dev"));
+  crypto::SigKeyPair signer = crypto::sig_keygen(srng);
+  migration::EnclaveOwner owner{world.ias(), crypto::Drbg(to_bytes("own"))};
+  store::CounterService counters{world.ias(), crypto::Drbg(to_bytes("ctr"))};
+  store::SealedSnapshotStore snapshots;
+
+  // Two hosts built from identically-seeded builds => identical MRENCLAVE:
+  // host B is a genuine fork vessel for host A's snapshots.
+  auto build = [&]() {
+    sdk::BuildInput in;
+    in.program = make_prog();
+    in.layout.num_workers = 2;
+    in.counter_service_pk = counters.public_key();
+    crypto::Drbg r(to_bytes("twin"));
+    return sdk::build_enclave_image(in, signer, world.ias().service_pk(), r);
+  };
+  sdk::BuildOutput built_a = build();
+  sdk::BuildOutput built_b = build();
+  ASSERT_TRUE(built_a.image.measure() == built_b.image.measure());
+  owner.enroll(built_a.image.measure(), built_a.owner);
+  sdk::EnclaveHost host_a(guest_a, *proc_a, std::move(built_a), world.ias(),
+                          crypto::Drbg(to_bytes("ha")));
+  sdk::EnclaveHost host_b(guest_b, *proc_b, std::move(built_b), world.ias(),
+                          crypto::Drbg(to_bytes("hb")));
+
+  migration::EnclaveMigrator migrator(world);
+  migration::EnclaveMigrateOptions opts;
+  opts.counter_service = &counters;
+  // Guest A hops between sites a and c on live migrations; B stays put.
+  hv::Machine* a_cur = &m_a;
+  hv::Machine* a_other = &m_c;
+
+  int live = -1;
+  world.executor().spawn("test", [&](sim::ThreadCtx& ctx) {
+    ASSERT_TRUE(host_a.create(ctx).ok());
+    {
+      auto ch = world.make_channel();
+      world.executor().spawn("owner", [&, c = ch.get()](sim::ThreadCtx& t) {
+        owner.serve_one(t, c->b());
+      });
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kProvision;
+      cmd.channel = ch->a();
+      ASSERT_TRUE(host_a.mailbox().post(ctx, cmd).status.ok());
+    }
+    std::vector<Bytes> snaps;
+    // A fenced (self-destroyed) instance spins any entered worker forever;
+    // the test must not ecall into one. Mailbox commands stay safe.
+    std::map<sdk::EnclaveHost*, bool> fenced{{&host_a, false},
+                                             {&host_b, false}};
+    auto bump = [&](sdk::EnclaveHost& h) {
+      Writer w;
+      w.u64(1);
+      w.u64(2);
+      (void)h.ecall(ctx, 0, kEcallBump, w.data());
+    };
+    for (int step = 0; step < 8; ++step) {
+      sdk::EnclaveHost& h = rnd.below(2) == 0 ? host_a : host_b;
+      switch (rnd.below(4)) {
+        case 0: {  // snapshot (possibly from a stale fork => self-fence)
+          if (h.instance() == nullptr) break;
+          if (!fenced[&h]) bump(h);
+          auto id = migrator.snapshot_to_store(ctx, h, snapshots, opts);
+          if (id.ok())
+            snaps.push_back(std::move(*id));
+          else if (id.status().code() == ErrorCode::kAborted)
+            fenced[&h] = true;
+          break;
+        }
+        case 1: {  // crash (only ever with idle workers)
+          if (h.instance() == nullptr) break;
+          h.crash_instance(ctx);
+          fenced[&h] = false;
+          break;
+        }
+        case 2: {  // restore: head or a deliberately stale snapshot id
+          if (h.instance() != nullptr || snaps.empty()) break;
+          Bytes id;
+          if (rnd.below(2) == 0) id = snaps[rnd.below(snaps.size())];
+          if (migrator.restore_from_store(ctx, h, snapshots, id, opts).ok())
+            fenced[&h] = false;
+          break;
+        }
+        case 3: {  // live-migrate host A between its two sites
+          if (&h != &host_a || host_a.instance() == nullptr ||
+              host_a.instance_lost())
+            break;
+          auto blob = migrator.prepare(ctx, host_a, opts);
+          if (!blob.ok()) {
+            // Only a self-destroyed enclave refuses to checkpoint; prepare
+            // already parked the workers, so treat it as fenced for good.
+            fenced[&host_a] = true;
+            break;
+          }
+          auto inst = host_a.detach_instance();
+          guest_a.set_migration_target(*a_other);
+          ASSERT_TRUE(guest_a.resume_enclaves_after_migration(ctx).ok());
+          std::swap(a_cur, a_other);  // the guest lives on the new site now
+          Status rs = migrator.restore(ctx, host_a, *a_other, inst,
+                                       std::move(*blob), opts);
+          if (!rs.ok()) {
+            // The committed-but-refused-advance case leaves a fenced target
+            // instance behind; never enter it again.
+            fenced[&host_a] = true;
+            if (inst != nullptr)
+              (void)host_a.destroy_detached(ctx, *a_other, std::move(inst));
+          }
+          break;
+        }
+      }
+    }
+    // Probe: a lease holder is an instance that can still seal. Forks that
+    // lost the race fence themselves right here at the latest.
+    live = 0;
+    for (sdk::EnclaveHost* h : {&host_a, &host_b}) {
+      if (h->instance() == nullptr || h->instance_lost()) continue;
+      if (migrator.snapshot_to_store(ctx, *h, snapshots, opts).ok()) ++live;
+    }
+  });
+  ASSERT_TRUE(world.executor().run()) << "virtual deadlock in interleaving";
+  EXPECT_GE(live, 0);
+  EXPECT_LE(live, 1);
+  // The audited counter never moves backwards (single identity throughout).
+  uint64_t last = 0;
+  for (const store::CounterAuditEntry& e : counters.audit_log()) {
+    EXPECT_GE(e.counter, last);
+    last = e.counter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaseInterleavingSweep,
+                         ::testing::Values(1, 2, 3, 7, 11, 23, 42, 99, 1337,
+                                           0xabcde));
 
 // ---- checkpoint fuzzing ---------------------------------------------------------
 

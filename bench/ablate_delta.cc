@@ -1,0 +1,214 @@
+// Ablation: incremental enclave checkpointing (wire format v3, PR 5).
+//
+// One ~2 MB enclave with a moderate write working set. The classic row runs
+// the full two-phase dump: everything — quiesce, then every checkpointable
+// page — happens inside the stop phase. The delta rows take the baseline
+// dump while the workers keep running, ship re-dirtied pages in N live
+// rounds, and pay only the residual dirty set + thread contexts at the
+// quiescent point. The stop-phase time is what the VM's downtime budget
+// actually sees, so that is the measured quantity.
+//
+// Expected trends:
+//   * delta stop time lands well under 0.5x the classic full dump (only a
+//     handful of residual pages + meta remain at the quiescent point);
+//   * more live rounds shrink the residual set further, with diminishing
+//     returns once it converges to the per-round write rate;
+//   * zero-page elision (the untouched heap tail) and content dedup (the
+//     striped working set) cut total wire bytes below the classic dump even
+//     though the baseline re-ships pages the deltas later overwrite.
+#include "bench_common.h"
+#include "migration/session.h"
+#include "sdk/chunk_wire.h"
+#include "util/serde.h"
+
+namespace {
+
+using namespace mig;
+
+constexpr uint64_t kEcallTouch = 1;
+
+// touch(first, count, fill_base, period): rewrites `count` heap pages
+// starting at `first`, page p getting the fill byte (fill_base + p % period).
+// A small period produces many identical pages (dedup fodder); a large one
+// makes every page unique.
+std::shared_ptr<sdk::EnclaveProgram> make_writer_program() {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("delta-writer");
+  prog->add_ecall(kEcallTouch, "touch",
+                  [](sdk::EnclaveEnv& env, sdk::Frame& f) {
+    Bytes args = f.args();
+    Reader r(args);
+    uint64_t first = r.u64();
+    uint64_t count = r.u64();
+    uint64_t fill_base = r.u64();
+    uint64_t period = r.u64();
+    env.work(200 * count);
+    for (uint64_t p = first; p < first + count; ++p) {
+      uint8_t fill = static_cast<uint8_t>(fill_base + p % period);
+      env.write_bytes(env.layout().heap_off + p * sgx::kPageSize,
+                      Bytes(sgx::kPageSize, fill));
+    }
+    return OkStatus();
+  });
+  return prog;
+}
+
+sdk::LayoutParams big_layout() {
+  sdk::LayoutParams p;
+  p.num_workers = 2;
+  p.data_pages = 1;
+  p.heap_pages = 512;  // ~2 MB of heap, same enclave as ablate_pipeline
+  return p;
+}
+
+void touch(sim::ThreadCtx& ctx, sdk::EnclaveHost& host, uint64_t first,
+           uint64_t count, uint64_t fill_base, uint64_t period) {
+  Writer w;
+  w.u64(first);
+  w.u64(count);
+  w.u64(fill_base);
+  w.u64(period);
+  auto r = host.ecall(ctx, 0, kEcallTouch, w.data());
+  MIG_CHECK_MSG(r.ok(), r.status().to_string());
+}
+
+// The write-moderate workload: 256 of 512 heap pages warm (striped content,
+// so the baseline both dedups and elides), 32 pages re-dirtied per live
+// round.
+constexpr uint64_t kWarmPages = 256;
+constexpr uint64_t kWritesPerRound = 32;
+
+struct Out {
+  uint64_t stop_ns = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t rounds = 0;
+  uint64_t residual_pages = 0;
+  uint64_t elided_bytes = 0;
+  uint64_t deduped_bytes = 0;
+};
+
+// Classic full two-phase dump: the whole checkpoint is stop-phase work.
+Out run_classic() {
+  bench::Bed bed;
+  guestos::Process& proc = bed.guest.create_process("app");
+  sdk::EnclaveHost& host =
+      bed.add_enclave(proc, make_writer_program(), big_layout());
+  Out out;
+  bed.run([&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host.create(ctx).ok());
+    bed.provision(ctx, host);
+    touch(ctx, host, 0, kWarmPages, 1, 32);
+
+    migration::EnclaveMigrator migrator(bed.world);
+    migration::EnclaveMigrateOptions opts;
+    uint64_t t0 = ctx.now();
+    auto blob = migrator.prepare(ctx, host, opts);
+    MIG_CHECK_MSG(blob.ok(), blob.status().to_string());
+    out.stop_ns = ctx.now() - t0;
+    out.wire_bytes = blob->size();
+  });
+  return out;
+}
+
+// Incremental: baseline + `live_rounds` delta rounds ride the running VM;
+// only the final quiescent dump is stop-phase work.
+Out run_delta(uint64_t live_rounds) {
+  bench::Bed bed;
+  guestos::Process& proc = bed.guest.create_process("app");
+  sdk::EnclaveHost& host =
+      bed.add_enclave(proc, make_writer_program(), big_layout());
+  Out out;
+  bed.run([&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host.create(ctx).ok());
+    bed.provision(ctx, host);
+    touch(ctx, host, 0, kWarmPages, 1, 32);
+
+    migration::EnclaveMigrator migrator(bed.world);
+    migration::EnclaveMigrateOptions opts;
+    auto account = [&](const sdk::DeltaStats& s) {
+      out.wire_bytes += s.wire_bytes;
+      out.elided_bytes += s.elided_bytes;
+      out.deduped_bytes += s.deduped_bytes;
+    };
+
+    auto base = migrator.dump_baseline(ctx, host, opts);
+    MIG_CHECK_MSG(base.ok(), base.status().to_string());
+    account(base->stats);
+
+    for (uint64_t r = 0; r < live_rounds; ++r) {
+      // The workload keeps writing between rounds: a moving window of
+      // kWritesPerRound pages with round-unique content.
+      touch(ctx, host, (r * kWritesPerRound) % kWarmPages, kWritesPerRound,
+            100 + r, sgx::kPageSize);
+      auto d = migrator.dump_delta(ctx, host, opts, /*final_dump=*/false);
+      MIG_CHECK_MSG(d.ok(), d.status().to_string());
+      account(d->stats);
+    }
+    // Writes still land between the last live round and the stop phase —
+    // this is the residual set the final dump must capture.
+    touch(ctx, host, 0, kWritesPerRound, 200, sgx::kPageSize);
+
+    uint64_t t0 = ctx.now();
+    auto fin = migrator.dump_delta(ctx, host, opts, /*final_dump=*/true);
+    MIG_CHECK_MSG(fin.ok(), fin.status().to_string());
+    out.stop_ns = ctx.now() - t0;
+    account(fin->stats);
+    out.rounds = live_rounds;
+    out.residual_pages = fin->stats.pages_sent;
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mig;
+  bench::print_header("Ablation: incremental (wire v3) checkpointing",
+                      "stop-phase dump time vs live delta rounds");
+
+  Out classic = run_classic();
+  std::printf("%10s %7s %10s %9s %12s %11s %11s %9s\n", "mode", "rounds",
+              "stop(ms)", "residual", "wire(KB)", "elided(KB)", "dedup(KB)",
+              "vs full");
+  std::printf("%10s %7s %10.2f %9s %12llu %11s %11s %9s\n", "classic", "-",
+              bench::ms(classic.stop_ns), "-",
+              static_cast<unsigned long long>(classic.wire_bytes / 1024), "-",
+              "-", "1.00x");
+  bench::JsonLine("ablate_delta")
+      .str("mode", "classic")
+      .num("stop_ns", classic.stop_ns)
+      .num("wire_bytes", classic.wire_bytes)
+      .num("ratio_x100", 100)
+      .emit();
+
+  for (uint64_t rounds : {1, 2, 4}) {
+    Out d = run_delta(rounds);
+    MIG_CHECK(classic.stop_ns > 0);
+    std::printf("%10s %7llu %10.2f %9llu %12llu %11llu %11llu %8.2fx\n",
+                "delta", static_cast<unsigned long long>(rounds),
+                bench::ms(d.stop_ns),
+                static_cast<unsigned long long>(d.residual_pages),
+                static_cast<unsigned long long>(d.wire_bytes / 1024),
+                static_cast<unsigned long long>(d.elided_bytes / 1024),
+                static_cast<unsigned long long>(d.deduped_bytes / 1024),
+                static_cast<double>(d.stop_ns) /
+                    static_cast<double>(classic.stop_ns));
+    bench::JsonLine("ablate_delta")
+        .str("mode", "delta")
+        .num("rounds", d.rounds)
+        .num("stop_ns", d.stop_ns)
+        .num("full_stop_ns", classic.stop_ns)
+        .num("wire_bytes", d.wire_bytes)
+        .num("residual_pages", d.residual_pages)
+        .num("elided_bytes", d.elided_bytes)
+        .num("deduped_bytes", d.deduped_bytes)
+        .num("ratio_x100", d.stop_ns * 100 / classic.stop_ns)
+        .emit();
+  }
+  std::printf(
+      "\nThe baseline and live rounds ride the running VM; the stop phase\n"
+      "pays only for the residual dirty set + thread contexts, landing well\n"
+      "under half the classic full dump. Zero-elision (the untouched heap\n"
+      "tail) and content dedup (the striped working set) cut the total wire\n"
+      "bytes below the classic dump as well.\n\n");
+  return 0;
+}

@@ -233,6 +233,55 @@ Result<Bytes> ChunkOpener::open_chunk(uint64_t index, ByteSpan sealed) {
   return plain;
 }
 
+// ---------------------------------------------------------------------------
+// Delta (wire v3) key schedule + record chain.
+
+Bytes delta_page_key(ByteSpan key32, uint64_t page_index, uint64_t version) {
+  MIG_CHECK(key32.size() == 32);
+  Bytes info = le64_bytes(page_index);
+  Bytes ver = le64_bytes(version);
+  info.insert(info.end(), ver.begin(), ver.end());
+  return hkdf(to_bytes("mig-delta"), key32, info, 32);
+}
+
+Bytes delta_root_key(ByteSpan key32) {
+  MIG_CHECK(key32.size() == 32);
+  return hkdf(to_bytes("mig-delta-root"), key32, Bytes{}, 32);
+}
+
+Bytes delta_final_key(ByteSpan key32) {
+  MIG_CHECK(key32.size() == 32);
+  return hkdf(to_bytes("mig-delta-final"), key32, Bytes{}, 32);
+}
+
+Digest delta_chain_record(ByteSpan root_key, ByteSpan prev32, uint64_t segment,
+                          uint64_t page_index, uint64_t version, uint8_t kind,
+                          const Digest& content_hash) {
+  MIG_CHECK(prev32.size() == 32);
+  Writer w;
+  w.raw(prev32);
+  w.u64(segment);
+  w.u64(page_index);
+  w.u64(version);
+  w.u8(kind);
+  w.raw(content_hash);
+  return hmac_sha256(root_key, w.data());
+}
+
+Digest delta_chain_close(ByteSpan root_key, ByteSpan prev32, uint64_t segment,
+                         uint64_t record_count, bool final_segment,
+                         const Digest& trailer_hash) {
+  MIG_CHECK(prev32.size() == 32);
+  Writer w;
+  w.raw(prev32);
+  w.raw(to_bytes("close"));
+  w.u64(segment);
+  w.u64(record_count);
+  w.u8(final_segment ? 1 : 0);
+  w.raw(trailer_hash);
+  return hmac_sha256(root_key, w.data());
+}
+
 Status ChunkOpener::verify_root(uint64_t count, ByteSpan root) const {
   if (macs_.size() != count || !contiguous(macs_))
     return Error(ErrorCode::kIntegrityViolation,

@@ -79,6 +79,41 @@ class ChunkSealer {
   std::map<uint64_t, Digest> macs_;  // chunk index -> outer MAC tag
 };
 
+// ---------------------------------------------------------------------------
+// Incremental (delta) checkpointing — the wire-format-v3 key schedule.
+//
+// Every shipped page is sealed under a subkey bound to (page index, version):
+// a stale delta record replayed later re-uses neither key nor chain position,
+// so the target can never be tricked into resurrecting old page content. All
+// records — including zero-elided and dedup references, which carry no
+// ciphertext of their own — are folded into one keyed running chain (the
+// delta analogue of the chunk integrity root above): the chain value closing
+// each segment commits to every record and segment before it, so reorder,
+// truncation, replay and cross-migration splices all surface as a single
+// mismatch at apply time.
+
+// Per-page sealing subkey:
+//   HKDF("mig-delta", key32, le64(page_index) || le64(version)) -> 32 bytes.
+Bytes delta_page_key(ByteSpan key32, uint64_t page_index, uint64_t version);
+
+// Key for the record chain, and the subkey sealing the final segment's
+// thread-context trailer.
+Bytes delta_root_key(ByteSpan key32);
+Bytes delta_final_key(ByteSpan key32);
+
+// One chain step per record:
+//   HMAC(root_key, prev || seg || page || version || kind || content_hash).
+// `prev32` is the previous chain value (all-zero at session start).
+Digest delta_chain_record(ByteSpan root_key, ByteSpan prev32, uint64_t segment,
+                          uint64_t page_index, uint64_t version, uint8_t kind,
+                          const Digest& content_hash);
+
+// Segment close step (also commits the final trailer's hash):
+//   HMAC(root_key, prev || "close" || seg || count || final || trailer_hash).
+Digest delta_chain_close(ByteSpan root_key, ByteSpan prev32, uint64_t segment,
+                         uint64_t record_count, bool final_segment,
+                         const Digest& trailer_hash);
+
 class ChunkOpener {
  public:
   explicit ChunkOpener(ByteSpan key32);

@@ -139,6 +139,28 @@ Result<uint64_t> GuestOs::resume_enclaves_after_migration(sim::ThreadCtx& ctx) {
   return ctx.now() - start;
 }
 
+Result<uint64_t> GuestOs::begin_enclave_delta(sim::ThreadCtx& ctx) {
+  uint64_t total = 0;
+  for (auto& proc : processes_) {
+    if (!proc->delta_begin_) continue;
+    auto bytes = proc->delta_begin_(ctx);
+    if (!bytes.ok()) return bytes.status();
+    total += *bytes;
+  }
+  return total;
+}
+
+Result<uint64_t> GuestOs::enclave_delta_round(sim::ThreadCtx& ctx) {
+  uint64_t total = 0;
+  for (auto& proc : processes_) {
+    if (!proc->delta_round_) continue;
+    auto bytes = proc->delta_round_(ctx);
+    if (!bytes.ok()) return bytes.status();
+    total += *bytes;
+  }
+  return total;
+}
+
 Status GuestOs::cancel_enclave_migration(sim::ThreadCtx& ctx) {
   ctx.work_atomic(cost().upcall_interrupt_ns);
   // Migration is off: allow enclave creation again and forget the pending

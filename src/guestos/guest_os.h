@@ -60,6 +60,17 @@ class Process {
     cancel_ = std::move(cancel);
   }
   bool has_enclaves() const { return static_cast<bool>(prepare_); }
+  // Incremental checkpointing (wire format v3). Registered alongside the
+  // migration handlers when the SGX library supports delta dumps: `begin`
+  // runs kDumpBaseline in every enclave (workers keep running) and `round`
+  // ships the re-dirtied pages after each pre-copy round. Both return the
+  // wire bytes produced so the engine can account for them.
+  using DeltaFn = std::function<Result<uint64_t>(sim::ThreadCtx&)>;
+  void register_delta_handlers(DeltaFn begin, DeltaFn round) {
+    delta_begin_ = std::move(begin);
+    delta_round_ = std::move(round);
+  }
+  bool has_delta_handlers() const { return static_cast<bool>(delta_begin_); }
   size_t enclave_count = 0;  // maintained by the SGX library
 
  private:
@@ -71,6 +82,8 @@ class Process {
   PrepareFn prepare_;
   ResumeFn resume_;
   CancelFn cancel_;
+  DeltaFn delta_begin_;
+  DeltaFn delta_round_;
 };
 
 class GuestOs : public hv::GuestHooks {
@@ -113,6 +126,13 @@ class GuestOs : public hv::GuestHooks {
   bool ready_to_stop() override {
     return !stop_gate_ || stop_gate_();
   }
+  // Incremental checkpointing: fan the engine's delta hooks out to every
+  // process that registered delta handlers (serially — the control threads
+  // share the untrusted channel budget anyway). Returns summed wire bytes;
+  // 0 when no process does incremental dumps, which keeps the engine on the
+  // classic path.
+  Result<uint64_t> begin_enclave_delta(sim::ThreadCtx& ctx) override;
+  Result<uint64_t> enclave_delta_round(sim::ThreadCtx& ctx) override;
   // Lets migration infrastructure delay stop-and-copy (e.g. until agent key
   // pre-delivery finished).
   void set_stop_gate(std::function<bool()> gate) {

@@ -22,6 +22,11 @@ void MigrationReport::publish_metrics(const char* prefix) const {
   m.set_gauge(p + ".enclave_prepare_ns", enclave_prepare_ns);
   m.set_gauge(p + ".enclave_restore_ns", enclave_restore_ns);
   m.set_gauge(p + ".enclave_extra_bytes", enclave_extra_bytes);
+  m.set_gauge(p + ".delta_rounds", delta_rounds);
+  m.set_gauge(p + ".delta_wire_bytes", delta_wire_bytes);
+  m.set_gauge(p + ".delta_residual_pages", delta_residual_pages);
+  m.set_gauge(p + ".delta_elided_bytes", delta_elided_bytes);
+  m.set_gauge(p + ".delta_deduped_bytes", delta_deduped_bytes);
 }
 
 namespace {
@@ -191,6 +196,28 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     }
   };
 
+  // --- wire v3: open the enclave delta sessions before pre-copy begins ---
+  // The baseline (a full enclave dump taken while the workers keep running)
+  // and each later delta round ride the VM rounds as extra bytes, so the
+  // enclave state converges alongside the VM's dirty set and the stop-phase
+  // dump only captures the residual re-dirtied pages.
+  uint64_t delta_pending = 0;
+  bool delta_active = false;
+  if (vm.hooks() != nullptr) {
+    Result<uint64_t> begun = vm.hooks()->begin_enclave_delta(ctx);
+    if (!begun.ok()) {
+      abort_source(ctx, vm, link, /*vm_stopped=*/false);
+      return begun.status();
+    }
+    if (*begun > 0) {
+      delta_active = true;
+      delta_pending = *begun;
+      report.delta_rounds += 1;
+      report.delta_wire_bytes += *begun;
+      obs::instant(ctx, "delta.baseline_ready", "hv", {{"bytes", *begun}});
+    }
+  }
+
   // --- iterative pre-copy while the VM runs ---
   for (uint64_t round = 0; round < params_.max_rounds; ++round) {
     if (dirty <= params_.stop_copy_threshold_pages) break;
@@ -198,10 +225,27 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     // Dirty-bitmap scan + queueing (charged inside the round so batching can
     // overlap it with the wire).
     Status st = send_round_acked(
-        dirty, 0, cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
+        dirty, delta_pending,
+        cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
     if (!st.ok()) {
       abort_source(ctx, vm, link, /*vm_stopped=*/false);
       return st;
+    }
+    delta_pending = 0;
+    if (delta_active) {
+      // Interleave one enclave delta round per VM round: whatever the
+      // enclaves re-dirtied while this round was on the wire ships with the
+      // next one.
+      Result<uint64_t> d = vm.hooks()->enclave_delta_round(ctx);
+      if (!d.ok()) {
+        abort_source(ctx, vm, link, /*vm_stopped=*/false);
+        return d.status();
+      }
+      if (*d > 0) {
+        delta_pending += *d;
+        report.delta_rounds += 1;
+        report.delta_wire_bytes += *d;
+      }
     }
     dirty = vm.pages_dirtied_over(ctx.now() - round_start);
     report.rounds += 1;
@@ -237,7 +281,11 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     // re-converged AND the guest is fully ready to switch (key pre-delivery
     // to the agent may still be riding on the WAN, §VI-D — the VM keeps
     // running meanwhile, which is how that latency stays hidden).
-    uint64_t pending_extra = checkpoint_bytes;
+    // Delta bytes produced after the last pre-copy send (or a baseline that
+    // never saw a round because the dirty set was already converged) still
+    // must cross while the VM runs — merge them with the checkpoint bytes.
+    uint64_t pending_extra = checkpoint_bytes + delta_pending;
+    delta_pending = 0;
     for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
          ++extra_rounds) {
       // The checkpoints must reach the target while the VM still runs (they

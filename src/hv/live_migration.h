@@ -60,6 +60,16 @@ struct MigrationReport {
   uint64_t enclave_restore_ns = 0;  // Fig. 10(a): rebuild+restore on target
   uint64_t enclave_extra_bytes = 0; // checkpoints + records in VM memory
 
+  // ---- incremental enclave checkpointing (wire format v3) ----
+  // Filled by the engine's delta-hook interleaving (rounds, wire bytes) and
+  // merged by the session layer (residual/elided/deduped, which only the
+  // control-thread replies know). All zero on the classic path.
+  uint64_t delta_rounds = 0;          // baseline + delta dumps that shipped bytes
+  uint64_t delta_wire_bytes = 0;      // enclave delta bytes ridden on rounds
+  uint64_t delta_residual_pages = 0;  // pages left for the stop-phase dump
+  uint64_t delta_elided_bytes = 0;    // page bytes saved by zero elision
+  uint64_t delta_deduped_bytes = 0;   // page bytes saved by content dedup
+
   // Folds every field into the metrics registry as `<prefix>.<field>` gauges
   // so that engine-level numbers, trace-derived numbers and bench output all
   // come from one source. No-op while metrics are disabled.

@@ -51,6 +51,29 @@ class GuestHooks {
   // The engine keeps the VM in pre-copy until this returns true (e.g. agent
   // key pre-delivery still in flight, §VI-D). Default: always ready.
   virtual bool ready_to_stop() { return true; }
+
+  // ---- incremental enclave checkpointing (wire format v3) ----
+  // Called once before the engine's first pre-copy round: start a delta
+  // session in every enclave (kDumpBaseline — a full dump taken while the
+  // worker threads keep running) and return the baseline's wire bytes. The
+  // engine ships them as extra bytes of the next running-VM round. A return
+  // of 0 means the guest does not do incremental checkpointing and the
+  // engine never calls enclave_delta_round — the classic path stays
+  // byte-identical on the wire.
+  virtual Result<uint64_t> begin_enclave_delta(sim::ThreadCtx& ctx) {
+    (void)ctx;
+    return uint64_t{0};
+  }
+
+  // Called after each pre-copy round while a delta session is live: dump the
+  // enclave pages re-dirtied since they were last shipped (kDumpDelta) and
+  // return their wire bytes, which ride the next round. The residual dirty
+  // set is captured by prepare_enclaves_for_migration's final quiescent
+  // dump. Default: nothing to ship.
+  virtual Result<uint64_t> enclave_delta_round(sim::ThreadCtx& ctx) {
+    (void)ctx;
+    return uint64_t{0};
+  }
 };
 
 struct VmConfig {

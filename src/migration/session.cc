@@ -31,6 +31,32 @@ Result<Bytes> EnclaveMigrator::prepare(sim::ThreadCtx& ctx,
   return std::move(reply.blob);
 }
 
+Result<EnclaveMigrator::DeltaDump> EnclaveMigrator::dump_baseline(
+    sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+    const EnclaveMigrateOptions& opts) {
+  sdk::ControlCmd cmd;
+  cmd.type = sdk::ControlCmd::Type::kDumpBaseline;
+  cmd.cipher = opts.cipher;
+  sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+  MIG_RETURN_IF_ERROR(reply.status);
+  return DeltaDump{std::move(reply.blob), reply.delta};
+}
+
+Result<EnclaveMigrator::DeltaDump> EnclaveMigrator::dump_delta(
+    sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+    const EnclaveMigrateOptions& opts, bool final_dump) {
+  // The final dump reaches the quiescent point, so workers must park there
+  // just as they do under prepare()'s two-phase checkpoint.
+  if (final_dump) host.begin_parking();
+  sdk::ControlCmd cmd;
+  cmd.type = sdk::ControlCmd::Type::kDumpDelta;
+  cmd.cipher = opts.cipher;
+  cmd.final_dump = final_dump;
+  sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
+  MIG_RETURN_IF_ERROR(reply.status);
+  return DeltaDump{std::move(reply.blob), reply.delta};
+}
+
 Status EnclaveMigrator::deliver_key_to_agent(
     sim::ThreadCtx& ctx, sdk::EnclaveInstance& source_instance,
     sdk::ControlMailbox& agent_mailbox) {
@@ -331,7 +357,68 @@ void VmMigrationSession::manage(sdk::EnclaveHost& host) {
         [this, proc](sim::ThreadCtx& c) { return prepare_process(c, proc); },
         [this, proc](sim::ThreadCtx& c) { return resume_process(c, proc); },
         [this, proc](sim::ThreadCtx& c) { return cancel_process(c, proc); });
+    if (opts_.incremental) {
+      proc->register_delta_handlers(
+          [this, proc](sim::ThreadCtx& c) {
+            return delta_begin_process(c, proc);
+          },
+          [this, proc](sim::ThreadCtx& c) {
+            return delta_round_process(c, proc);
+          });
+    }
   }
+}
+
+EnclaveMigrateOptions VmMigrationSession::enclave_opts() const {
+  EnclaveMigrateOptions opts;
+  opts.cipher = opts_.cipher;
+  opts.chunk_bytes = opts_.chunk_bytes;
+  opts.seal_workers = opts_.seal_workers;
+  opts.counter_service = opts_.counter_service;
+  return opts;
+}
+
+namespace {
+void accumulate(sdk::DeltaStats& into, const sdk::DeltaStats& d) {
+  into.pages_scanned += d.pages_scanned;
+  into.pages_sent += d.pages_sent;
+  into.pages_zero += d.pages_zero;
+  into.pages_deduped += d.pages_deduped;
+  into.wire_bytes += d.wire_bytes;
+  into.elided_bytes += d.elided_bytes;
+  into.deduped_bytes += d.deduped_bytes;
+}
+}  // namespace
+
+Result<uint64_t> VmMigrationSession::delta_begin_process(sim::ThreadCtx& ctx,
+                                                         guestos::Process* p) {
+  EnclaveMigrateOptions opts = enclave_opts();
+  uint64_t total = 0;
+  for (ManagedEnclave& m : managed_[p]) {
+    MIG_ASSIGN_OR_RETURN(EnclaveMigrator::DeltaDump dump,
+                         migrator_.dump_baseline(ctx, *m.host, opts));
+    total += dump.segment.size();
+    accumulate(m.delta_stats, dump.stats);
+    m.delta_segments.push_back(std::move(dump.segment));
+  }
+  return total;
+}
+
+Result<uint64_t> VmMigrationSession::delta_round_process(sim::ThreadCtx& ctx,
+                                                         guestos::Process* p) {
+  EnclaveMigrateOptions opts = enclave_opts();
+  uint64_t total = 0;
+  for (ManagedEnclave& m : managed_[p]) {
+    MIG_ASSIGN_OR_RETURN(
+        EnclaveMigrator::DeltaDump dump,
+        migrator_.dump_delta(ctx, *m.host, opts, /*final_dump=*/false));
+    // A round where nothing was re-dirtied produces no segment at all.
+    if (dump.segment.empty()) continue;
+    total += dump.segment.size();
+    accumulate(m.delta_stats, dump.stats);
+    m.delta_segments.push_back(std::move(dump.segment));
+  }
+  return total;
 }
 
 // Host-side footprint every enclave application drags along in VM memory:
@@ -343,14 +430,33 @@ constexpr uint64_t kEnclaveAppFootprintBytes = 512ull * 1024;
 Result<uint64_t> VmMigrationSession::prepare_process(sim::ThreadCtx& ctx,
                                                      guestos::Process* p) {
   uint64_t total = 0;
-  EnclaveMigrateOptions opts;
-  opts.cipher = opts_.cipher;
-  opts.chunk_bytes = opts_.chunk_bytes;
-  opts.seal_workers = opts_.seal_workers;
-  opts.counter_service = opts_.counter_service;
+  EnclaveMigrateOptions opts = enclave_opts();
   for (ManagedEnclave& m : managed_[p]) {
-    MIG_ASSIGN_OR_RETURN(m.checkpoint, migrator_.prepare(ctx, *m.host, opts));
-    total += m.checkpoint.size() + kEnclaveAppFootprintBytes;
+    if (opts_.incremental) {
+      // The baseline and delta rounds already shipped; capture only the
+      // residual dirty set + thread contexts at the quiescent point and
+      // assemble the MGV3 container the target-side restore consumes.
+      MIG_ASSIGN_OR_RETURN(
+          EnclaveMigrator::DeltaDump dump,
+          migrator_.dump_delta(ctx, *m.host, opts, /*final_dump=*/true));
+      m.delta_residual_pages = dump.stats.pages_sent;
+      accumulate(m.delta_stats, dump.stats);
+      m.delta_segments.push_back(std::move(dump.segment));
+      m.checkpoint = sdk::encode_delta_container(m.delta_segments);
+      m.delta_segments.clear();
+      if (obs::active()) {
+        obs::metrics().add("migration.checkpoints");
+        obs::metrics().observe("migration.checkpoint_bytes",
+                               m.checkpoint.size());
+      }
+      // Only the final segment still has to ride the stopped-VM round; the
+      // earlier segments were counted against running-VM rounds by the
+      // engine's delta hooks.
+      total += dump.stats.wire_bytes + kEnclaveAppFootprintBytes;
+    } else {
+      MIG_ASSIGN_OR_RETURN(m.checkpoint, migrator_.prepare(ctx, *m.host, opts));
+      total += m.checkpoint.size() + kEnclaveAppFootprintBytes;
+    }
     // The enclave is quiescent; the instance stays alive on the source for
     // the key handshake.
     m.source_instance = m.host->detach_instance();
@@ -375,11 +481,7 @@ Result<uint64_t> VmMigrationSession::prepare_process(sim::ThreadCtx& ctx,
 
 Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
                                           guestos::Process* p) {
-  EnclaveMigrateOptions opts;
-  opts.cipher = opts_.cipher;
-  opts.chunk_bytes = opts_.chunk_bytes;
-  opts.seal_workers = opts_.seal_workers;
-  opts.counter_service = opts_.counter_service;
+  EnclaveMigrateOptions opts = enclave_opts();
   if (agent_ != nullptr) opts.agent = &agent_->port();
   for (ManagedEnclave& m : managed_[p]) {
     if (m.key_delivered != nullptr) {
@@ -473,6 +575,9 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
       obs::instant(ctx, "fate.cancelled", "migration");
       m.fate = ManagedEnclave::Fate::kCancelled;
       m.checkpoint.clear();
+      // The delta session died with the cancel (kCancelMigration disarms
+      // tracking in-enclave); shipped segments are ciphertext without a key.
+      m.delta_segments.clear();
       if (detached && host.instance() == nullptr && !m.restore_started) {
         host.adopt_instance(std::move(m.source_instance));
         host.finish_migration(ctx, {});
@@ -569,6 +674,20 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
   MIG_RETURN_IF_ERROR(report.status());
   MIG_RETURN_IF_ERROR(target_out.report.status());
   MIG_RETURN_IF_ERROR(agent_teardown);
+  if (opts_.incremental) {
+    // Merge what only the control-thread replies know (the engine filled
+    // delta_rounds / delta_wire_bytes) and re-publish — gauges are
+    // last-write-wins, so this just completes the picture.
+    for (auto& [proc, enclaves] : managed_) {
+      (void)proc;
+      for (const ManagedEnclave& m : enclaves) {
+        report->delta_residual_pages += m.delta_residual_pages;
+        report->delta_elided_bytes += m.delta_stats.elided_bytes;
+        report->delta_deduped_bytes += m.delta_stats.deduped_bytes;
+      }
+    }
+    report->publish_metrics("migration");
+  }
   return report;
 }
 

@@ -84,6 +84,25 @@ class EnclaveMigrator {
                               sdk::EnclaveInstance& source_instance,
                               sdk::ControlMailbox& agent_mailbox);
 
+  // ---- incremental checkpointing (wire format v3) ----
+  // One dump's product: an encoded MGD3 segment (empty for a non-final delta
+  // with nothing re-dirtied) plus the control thread's accounting for it.
+  struct DeltaDump {
+    Bytes segment;
+    sdk::DeltaStats stats;
+  };
+  // Arms per-page write tracking and dumps every checkpointable page while
+  // the workers keep running (kDumpBaseline).
+  Result<DeltaDump> dump_baseline(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                                  const EnclaveMigrateOptions& opts);
+  // Dumps only the pages re-dirtied since they were last shipped
+  // (kDumpDelta). With `final_dump`, parks the workers, reaches the
+  // quiescent point, captures the residual dirty set + thread contexts and
+  // disarms tracking — the delta analogue of prepare().
+  Result<DeltaDump> dump_delta(sim::ThreadCtx& ctx, sdk::EnclaveHost& host,
+                               const EnclaveMigrateOptions& opts,
+                               bool final_dump);
+
   // ---- cold migration / crash recovery (store/) ----
   // Seals the enclave's state into an MGS1 snapshot envelope bound to the
   // counter service's current value, publishes it in `snapshots` (content
@@ -155,6 +174,12 @@ class VmMigrationSession {
     // committed restore advances the enclave's monotonic counter (rollback
     // defense for pre-migration snapshots).
     store::CounterService* counter_service = nullptr;
+    // Incremental enclave checkpointing (wire format v3): take a full
+    // baseline dump while the workers keep running, ship re-dirtied pages
+    // after each pre-copy round, and capture only the residual dirty set at
+    // the quiescent point — the enclave analogue of pre-copy itself. Off by
+    // default; the classic path stays byte-identical on the wire.
+    bool incremental = false;
   };
 
   VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,
@@ -179,6 +204,12 @@ class VmMigrationSession {
 
   Result<uint64_t> prepare_process(sim::ThreadCtx& ctx, guestos::Process* p);
   Status resume_process(sim::ThreadCtx& ctx, guestos::Process* p);
+  // Incremental mode: the engine's delta hooks, fanned out per enclave.
+  Result<uint64_t> delta_begin_process(sim::ThreadCtx& ctx,
+                                       guestos::Process* p);
+  Result<uint64_t> delta_round_process(sim::ThreadCtx& ctx,
+                                       guestos::Process* p);
+  EnclaveMigrateOptions enclave_opts() const;
   // Abort-path undo (invoked via GuestOs::cancel_enclave_migration): decide
   // each enclave's fate through its control thread and either re-attach the
   // source instance or tear down a committed one.
@@ -209,6 +240,14 @@ class VmMigrationSession {
     // True once resume_process has handed this enclave to restore(); the
     // cancel path then leaves instance cleanup to restore's failure path.
     bool restore_started = false;
+    // Incremental mode: MGD3 segments accumulated across the baseline and
+    // delta rounds (prepare_process appends the final quiescent segment and
+    // assembles the MGV3 container into `checkpoint`), plus the summed
+    // accounting the session merges into the MigrationReport after a
+    // successful run.
+    std::vector<Bytes> delta_segments;
+    sdk::DeltaStats delta_stats;
+    uint64_t delta_residual_pages = 0;
   };
   std::map<guestos::Process*, std::vector<ManagedEnclave>> managed_;
   std::unique_ptr<AgentEnclave> agent_;

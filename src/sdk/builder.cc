@@ -135,6 +135,13 @@ BuildOutput build_enclave_image(const BuildInput& input,
              wx ? sgx::Perms::wx_only() : sgx::Perms::rw(), Bytes{});
   }
 
+  // Track region: per-page write-version counters for delta checkpointing.
+  // Zero (tracking off) until a kDumpBaseline arms it.
+  for (uint64_t p = 0; p < l.track_pages; ++p) {
+    add_page(l.track_off + p * sgx::kPageSize, sgx::PageType::kReg,
+             sgx::Perms::rw(), Bytes{});
+  }
+
   crypto::Drbg sign_rng = rng.fork(to_bytes("sign"));
   img.sign(dev_signer, sign_rng);
   return out;

@@ -13,6 +13,8 @@ constexpr char kBlobMagic[4] = {'M', 'G', 'C', '2'};
 constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
 constexpr char kEndMagic[4] = {'C', 'E', 'N', 'D'};
 constexpr char kSnapMagic[4] = {'M', 'G', 'S', '1'};
+constexpr char kDeltaSegMagic[4] = {'M', 'G', 'D', '3'};
+constexpr char kDeltaBoxMagic[4] = {'M', 'G', 'V', '3'};
 
 bool has_magic(ByteSpan b, const char (&magic)[4]) {
   if (b.size() < 4) return false;
@@ -191,6 +193,109 @@ Result<SnapshotEnvelope> parse_snapshot_envelope(ByteSpan blob) {
     return Error(ErrorCode::kIntegrityViolation,
                  "snapshot envelope: empty sealed payload");
   return env;
+}
+
+// ---- incremental checkpoint wire format (v3) ----
+
+bool is_delta_segment(ByteSpan blob) { return has_magic(blob, kDeltaSegMagic); }
+
+bool is_delta_checkpoint(ByteSpan blob) {
+  return has_magic(blob, kDeltaBoxMagic);
+}
+
+Bytes encode_delta_segment(const DeltaSegment& seg) {
+  MIG_CHECK(seg.chain.size() == 32);
+  MIG_CHECK(seg.final_segment || seg.trailer.empty());
+  Writer w;
+  put_magic(w, kDeltaSegMagic);
+  w.u8(static_cast<uint8_t>(seg.alg));
+  w.u64(seg.index);
+  w.u8(seg.final_segment ? 1 : 0);
+  w.u64(seg.records.size());
+  for (const DeltaRecord& rec : seg.records) {
+    w.u64(rec.page);
+    w.u64(rec.version);
+    w.u8(static_cast<uint8_t>(rec.kind));
+    w.bytes(rec.payload);
+  }
+  w.bytes(seg.trailer);
+  w.raw(seg.chain);
+  return w.take();
+}
+
+Result<DeltaSegment> parse_delta_segment(ByteSpan blob) {
+  if (!is_delta_segment(blob))
+    return Error(ErrorCode::kIntegrityViolation, "not a delta segment");
+  Reader r(blob.subspan(4));
+  DeltaSegment seg;
+  uint8_t alg = r.u8();
+  seg.index = r.u64();
+  uint8_t fin = r.u8();
+  uint64_t count = r.u64();
+  if (!r.ok() || !valid_alg(alg) || fin > 1)
+    return Error(ErrorCode::kIntegrityViolation, "delta segment malformed");
+  seg.alg = static_cast<crypto::CipherAlg>(alg);
+  seg.final_segment = fin == 1;
+  if (count > kMaxDeltaRecords)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "delta segment: absurd record count");
+  seg.records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DeltaRecord rec;
+    rec.page = r.u64();
+    rec.version = r.u64();
+    uint8_t kind = r.u8();
+    rec.payload = r.bytes();
+    if (!r.ok() || kind > static_cast<uint8_t>(DeltaRecordKind::kDup))
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta segment: bad record " + std::to_string(i));
+    rec.kind = static_cast<DeltaRecordKind>(kind);
+    if (rec.kind == DeltaRecordKind::kZero && !rec.payload.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta segment: zero record carries payload");
+    if (rec.kind == DeltaRecordKind::kDup && rec.payload.size() != 32)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta segment: dup record without a 32-byte hash");
+    seg.records.push_back(std::move(rec));
+  }
+  seg.trailer = r.bytes();
+  seg.chain = r.raw(32);
+  MIG_RETURN_IF_ERROR(r.finish());
+  if (!seg.final_segment && !seg.trailer.empty())
+    return Error(ErrorCode::kIntegrityViolation,
+                 "delta segment: trailer on a non-final segment");
+  return seg;
+}
+
+Bytes encode_delta_container(const std::vector<Bytes>& segments) {
+  MIG_CHECK(!segments.empty());
+  Writer w;
+  put_magic(w, kDeltaBoxMagic);
+  w.u64(segments.size());
+  for (const Bytes& seg : segments) w.bytes(seg);
+  return w.take();
+}
+
+Result<std::vector<Bytes>> parse_delta_container(ByteSpan blob) {
+  if (!is_delta_checkpoint(blob))
+    return Error(ErrorCode::kIntegrityViolation, "not a delta checkpoint");
+  Reader r(blob.subspan(4));
+  uint64_t count = r.u64();
+  if (!r.ok() || count == 0 || count > kMaxDeltaSegments)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "delta checkpoint: absurd segment count");
+  std::vector<Bytes> segments;
+  segments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes seg = r.bytes();
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta checkpoint: truncated at segment " +
+                       std::to_string(i));
+    segments.push_back(std::move(seg));
+  }
+  MIG_RETURN_IF_ERROR(r.finish());
+  return segments;
 }
 
 }  // namespace mig::sdk

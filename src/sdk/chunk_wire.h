@@ -108,4 +108,75 @@ Bytes encode_snapshot_envelope(const SnapshotEnvelope& env);
 // blob, and trailing bytes.
 Result<SnapshotEnvelope> parse_snapshot_envelope(ByteSpan blob);
 
+// ---- incremental checkpoint wire format (v3) ----
+//
+// An incremental checkpoint is a *sequence of segments*: segment 0 is the
+// baseline (every checkpointable page, dumped while the workers keep
+// running), each later segment carries only the pages re-dirtied since they
+// were last shipped, and the last segment (final=1) is produced at the
+// quiescent point and additionally carries the sealed thread contexts.
+//
+//   segment:   "MGD3" | u8 alg | u64 index | u8 final | u64 record_count
+//              | record_count x ( u64 page | u64 version | u8 kind
+//                                 | bytes payload )
+//              | bytes trailer        (sealed thread contexts; empty
+//                                      unless final)
+//              | chain (32 raw bytes)
+//
+//   record kinds: 0 = data  (payload: page sealed under the
+//                            (page, version)-bound subkey)
+//                 1 = zero  (payload empty: the page is all zeroes)
+//                 2 = dup   (payload: 32-byte SHA-256 of page content the
+//                            target has already applied)
+//
+//   container: "MGV3" | u64 segment_count | segment_count x (bytes segment)
+//
+// The chain value closing each segment is the keyed running chain of
+// crypto::delta_chain_record/close over every record since the baseline:
+// the target recomputes it while applying, so segment reorder, replay,
+// truncation and record tampering are all rejected with one check. The
+// first container byte (0x4D, 'M') cannot collide with a legacy v1 blob
+// (first byte = CipherAlg in 1..5); "MGV3" vs "MGC2" disambiguates v2.
+
+inline constexpr uint64_t kMaxDeltaRecords = 1u << 20;
+inline constexpr uint64_t kMaxDeltaSegments = 1u << 12;
+
+enum class DeltaRecordKind : uint8_t {
+  kData = 0,
+  kZero = 1,
+  kDup = 2,
+};
+
+struct DeltaRecord {
+  uint64_t page = 0;     // absolute page index within the enclave
+  uint64_t version = 0;  // version counter value the content was read at
+  DeltaRecordKind kind = DeltaRecordKind::kData;
+  Bytes payload;         // sealed page / empty / 32-byte content hash
+};
+
+struct DeltaSegment {
+  crypto::CipherAlg alg = crypto::CipherAlg::kRc4;
+  uint64_t index = 0;
+  bool final_segment = false;
+  std::vector<DeltaRecord> records;
+  Bytes trailer;  // sealed thread-context blob (final segments only)
+  Bytes chain;    // 32-byte running-chain value after this segment
+};
+
+// True iff `blob` starts with the v3 segment / container magic.
+bool is_delta_segment(ByteSpan blob);
+bool is_delta_checkpoint(ByteSpan blob);
+
+Bytes encode_delta_segment(const DeltaSegment& seg);
+// Defensive: rejects bad magic/alg/kind, record_count > kMaxDeltaRecords,
+// dup payloads that are not exactly 32 bytes, a non-final segment with a
+// trailer, a short chain, and trailing bytes.
+Result<DeltaSegment> parse_delta_segment(ByteSpan blob);
+
+Bytes encode_delta_container(const std::vector<Bytes>& segments);
+// Defensive: rejects bad magic, segment_count 0 or > kMaxDeltaSegments, and
+// trailing bytes. Segment blobs are returned unparsed (the apply path parses
+// and verifies them one by one, naming the segment that failed).
+Result<std::vector<Bytes>> parse_delta_container(ByteSpan blob);
+
 }  // namespace mig::sdk

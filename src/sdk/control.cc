@@ -1,7 +1,9 @@
 #include "sdk/control.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "crypto/ciphers.h"
@@ -105,6 +107,8 @@ class ControlEngine {
       case ControlCmd::Type::kStoreSnapshot: return store_snapshot(cmd);
       case ControlCmd::Type::kStoreRestore: return store_restore(cmd);
       case ControlCmd::Type::kAdvanceCounter: return advance_counter(cmd);
+      case ControlCmd::Type::kDumpBaseline: return dump_baseline(cmd);
+      case ControlCmd::Type::kDumpDelta: return dump_delta(cmd);
       case ControlCmd::Type::kNaiveDump: return naive_dump(cmd);
       case ControlCmd::Type::kShutdown: return {};
     }
@@ -205,8 +209,8 @@ class ControlEngine {
     return out;
   }
 
-  Result<Checkpoint> capture() {
-    Checkpoint c;
+  std::vector<WorkerSnapshot> capture_workers() {
+    std::vector<WorkerSnapshot> out;
     for (uint64_t i = 0; i < num_workers(); ++i) {
       WorkerSnapshot w;
       uint64_t tls = l_->tls_offset(i);
@@ -222,8 +226,14 @@ class ControlEngine {
             l_->ssa_offset(i) + f * sgx::kPageSize, sgx::kPageSize));
         charge_page_dump();
       }
-      c.workers.push_back(std::move(w));
+      out.push_back(std::move(w));
     }
+    return out;
+  }
+
+  Result<Checkpoint> capture() {
+    Checkpoint c;
+    c.workers = capture_workers();
     c.meta_page = env_->read_bytes(0, sgx::kPageSize);
     charge_page_dump();
     MIG_ASSIGN_OR_RETURN(c.data_region,
@@ -233,10 +243,10 @@ class ControlEngine {
     return c;
   }
 
-  static Bytes serialize_checkpoint(const Checkpoint& c) {
-    Writer w;
-    w.u64(c.workers.size());
-    for (const WorkerSnapshot& ws : c.workers) {
+  static void write_workers(Writer& w,
+                            const std::vector<WorkerSnapshot>& workers) {
+    w.u64(workers.size());
+    for (const WorkerSnapshot& ws : workers) {
       w.u64(ws.local_flag);
       w.u64(ws.cssa_eenter);
       w.u64(ws.true_cssa);
@@ -244,6 +254,31 @@ class ControlEngine {
       w.u64(ws.ssa_frames.size());
       for (const Bytes& f : ws.ssa_frames) w.bytes(f);
     }
+  }
+
+  static Result<std::vector<WorkerSnapshot>> read_workers(Reader& r) {
+    std::vector<WorkerSnapshot> out;
+    uint64_t n = r.u64();
+    if (!r.ok() || n > 1024)
+      return Error(ErrorCode::kInvalidArgument, "absurd worker count");
+    for (uint64_t i = 0; i < n; ++i) {
+      WorkerSnapshot w;
+      w.local_flag = r.u64();
+      w.cssa_eenter = r.u64();
+      w.true_cssa = r.u64();
+      w.tls_page = r.bytes();
+      uint64_t frames = r.u64();
+      if (!r.ok() || frames > kNssa)
+        return Error(ErrorCode::kInvalidArgument, "bad frames");
+      for (uint64_t f = 0; f < frames; ++f) w.ssa_frames.push_back(r.bytes());
+      out.push_back(std::move(w));
+    }
+    return out;
+  }
+
+  static Bytes serialize_checkpoint(const Checkpoint& c) {
+    Writer w;
+    write_workers(w, c.workers);
     w.bytes(c.meta_page);
     w.bytes(c.data_region);
     w.bytes(c.heap_region);
@@ -259,19 +294,7 @@ class ControlEngine {
       return Error(ErrorCode::kInvalidArgument, "malformed checkpoint");
     Reader r(body);
     Checkpoint c;
-    uint64_t n = r.u64();
-    if (n > 1024) return Error(ErrorCode::kInvalidArgument, "absurd worker count");
-    for (uint64_t i = 0; i < n; ++i) {
-      WorkerSnapshot w;
-      w.local_flag = r.u64();
-      w.cssa_eenter = r.u64();
-      w.true_cssa = r.u64();
-      w.tls_page = r.bytes();
-      uint64_t frames = r.u64();
-      if (frames > kNssa) return Error(ErrorCode::kInvalidArgument, "bad frames");
-      for (uint64_t f = 0; f < frames; ++f) w.ssa_frames.push_back(r.bytes());
-      c.workers.push_back(std::move(w));
-    }
+    MIG_ASSIGN_OR_RETURN(c.workers, read_workers(r));
     c.meta_page = r.bytes();
     c.data_region = r.bytes();
     c.heap_region = r.bytes();
@@ -457,6 +480,323 @@ class ControlEngine {
     return plain;
   }
 
+  // ---- incremental checkpointing (wire format v3) ----------------------------
+  // Source-side session state between kDumpBaseline and the final kDumpDelta.
+  struct DeltaState {
+    bool active = false;
+    Bytes root_key;                         // chain key (from Kmigrate)
+    crypto::Digest chain{};                 // running chain, zero at start
+    uint64_t next_segment = 0;
+    std::map<uint64_t, uint64_t> shipped;   // page -> last shipped version
+    std::set<crypto::Digest> shipped_hashes;  // content already on the wire
+  };
+
+  // The pages the delta records cover, in canonical order: the meta page,
+  // then the data region, then the heap. TLS + SSA state travels in the
+  // final segment's sealed trailer instead — the same split the classic
+  // Checkpoint makes between regions and WorkerSnapshots.
+  std::vector<uint64_t> delta_page_list() const {
+    std::vector<uint64_t> pages;
+    pages.push_back(0);
+    uint64_t d0 = l_->data_off / sgx::kPageSize;
+    for (uint64_t p = 0; p < l_->params.data_pages; ++p) pages.push_back(d0 + p);
+    uint64_t h0 = l_->heap_off / sgx::kPageSize;
+    for (uint64_t p = 0; p < l_->params.heap_pages; ++p) pages.push_back(h0 + p);
+    return pages;
+  }
+
+  // Fail closed: any error mid-dump abandons the delta session (the chain is
+  // half-advanced and can never be completed consistently). The migration
+  // layer rolls the rest back via kCancelMigration.
+  void abandon_delta() {
+    env_->write_u64(kOffDeltaTracking, 0);
+    delta_ = DeltaState{};
+  }
+
+  // One dump round. Baseline ships every page; deltas ship only pages whose
+  // version moved past the last shipped value. Each page's version is read
+  // BEFORE its content: a worker racing the content read bumps the version
+  // past what we record as shipped, so a possibly-torn page is always
+  // re-shipped by a later round — and the final round runs at the quiescent
+  // point, where no writer races anything.
+  //
+  // Returns the encoded segment, or an empty blob when a non-final round
+  // found nothing re-dirtied (no segment is emitted; the chain and segment
+  // counter stay untouched).
+  Result<Bytes> dump_delta_segment(ControlCmd& cmd, bool baseline, bool final,
+                                   DeltaStats& stats) {
+    const sim::CostModel& cost = env_->cost();
+    Bytes kmigrate = env_->read_bytes(kOffKmigrate, 32);
+    const Bytes zero_page(sgx::kPageSize, 0);
+    const crypto::Digest zero_hash = crypto::Sha256::hash(zero_page);
+    DeltaSegment seg;
+    seg.alg = cmd.cipher;
+    seg.index = delta_.next_segment;
+    seg.final_segment = final;
+    for (uint64_t page : delta_page_list()) {
+      ++stats.pages_scanned;
+      env_->work(sim::per_byte_x100(cost.delta_scan_ns_per_page_x100, 1));
+      uint64_t version = env_->read_u64(l_->track_slot(page * sgx::kPageSize));
+      auto it = delta_.shipped.find(page);
+      if (!baseline && it != delta_.shipped.end() && version <= it->second)
+        continue;
+      Bytes content;
+      Status st = env_->try_read_bytes(page * sgx::kPageSize, sgx::kPageSize,
+                                       content);
+      if (!st.ok()) {
+        // Same SGXv1 limitation as dump_region(): a W+X page is unreadable.
+        return Error(ErrorCode::kPermissionDenied,
+                     "enclave has a non-readable (W+X) page; cannot be "
+                     "migrated under SGXv1 (" + st.message() + ")");
+      }
+      charge_page_dump();
+      env_->work(sim::per_byte_x100(cost.sha256_ns_per_byte_x100,
+                                    content.size()));
+      crypto::Digest h = crypto::Sha256::hash(content);
+      DeltaRecord rec;
+      rec.page = page;
+      rec.version = version;
+      if (h == zero_hash) {
+        rec.kind = DeltaRecordKind::kZero;
+        ++stats.pages_zero;
+        stats.elided_bytes += sgx::kPageSize;
+      } else if (delta_.shipped_hashes.count(h) != 0) {
+        rec.kind = DeltaRecordKind::kDup;
+        rec.payload.assign(h.begin(), h.end());
+        ++stats.pages_deduped;
+        stats.deduped_bytes += sgx::kPageSize;
+      } else {
+        rec.kind = DeltaRecordKind::kData;
+        env_->work(crypto::cipher_cost_ns(cmd.cipher, content.size()));
+        rec.payload = crypto::seal(
+            cmd.cipher, crypto::delta_page_key(kmigrate, page, version),
+            content);
+        delta_.shipped_hashes.insert(h);
+      }
+      delta_.chain = crypto::delta_chain_record(
+          delta_.root_key, delta_.chain, seg.index, page, version,
+          static_cast<uint8_t>(rec.kind), h);
+      delta_.shipped[page] = version;
+      seg.records.push_back(std::move(rec));
+    }
+    stats.pages_sent = seg.records.size();
+    if (!final && seg.records.empty()) return Bytes{};
+    if (final) {
+      Writer tw;
+      write_workers(tw, capture_workers());
+      Bytes workers_blob = tw.take();
+      env_->work(crypto::cipher_cost_ns(cmd.cipher, workers_blob.size()) +
+                 sim::per_byte_x100(cost.sha256_ns_per_byte_x100,
+                                    workers_blob.size()));
+      seg.trailer = crypto::seal(cmd.cipher,
+                                 crypto::delta_final_key(kmigrate),
+                                 workers_blob);
+    }
+    delta_.chain = crypto::delta_chain_close(
+        delta_.root_key, delta_.chain, seg.index, seg.records.size(), final,
+        crypto::Sha256::hash(seg.trailer));
+    seg.chain.assign(delta_.chain.begin(), delta_.chain.end());
+    ++delta_.next_segment;
+    Bytes wire = encode_delta_segment(seg);
+    stats.wire_bytes = wire.size();
+    obs::metrics().add("delta.segments");
+    obs::metrics().add("delta.pages_sent", stats.pages_sent);
+    obs::metrics().add("delta.pages_zero", stats.pages_zero);
+    obs::metrics().add("delta.pages_deduped", stats.pages_deduped);
+    return wire;
+  }
+
+  // ---- kDumpBaseline ----------------------------------------------------------
+  ControlReply dump_baseline(ControlCmd& cmd) {
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    // Fresh Kmigrate, same contract as kPrepareCheckpoint.
+    Bytes kmigrate = deps_->rng.generate(32);
+    env_->write_bytes(kOffKmigrate, kmigrate);
+    env_->write_u64(kOffKeyServed, 0);
+    // Reset + arm tracking BEFORE reading any content, so every write racing
+    // the baseline dump bumps its page past the shipped version.
+    const Bytes zero_page(sgx::kPageSize, 0);
+    for (uint64_t p = 0; p < l_->track_pages; ++p)
+      env_->write_bytes(l_->track_off + p * sgx::kPageSize, zero_page);
+    env_->write_u64(kOffDeltaTracking, 1);
+    delta_ = DeltaState{};
+    delta_.active = true;
+    delta_.root_key = crypto::delta_root_key(kmigrate);
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "delta.baseline", "sdk");
+    ControlReply reply;
+    auto wire = dump_delta_segment(cmd, /*baseline=*/true, /*final=*/false,
+                                   reply.delta);
+    if (!wire.ok()) {
+      abandon_delta();
+      return fail(wire.status().code(), wire.status().message());
+    }
+    span.finish({{"pages", reply.delta.pages_sent}});
+    reply.blob = std::move(*wire);
+    return reply;
+  }
+
+  // ---- kDumpDelta -------------------------------------------------------------
+  ControlReply dump_delta(ControlCmd& cmd) {
+    if (!delta_.active)
+      return fail(ErrorCode::kFailedPrecondition,
+                  "no delta session: kDumpBaseline was never run");
+    if (self_destroyed())
+      return fail(ErrorCode::kAborted, "enclave has self-destroyed");
+    if (cmd.final_dump) {
+      // Stop-phase dump: the two-phase protocol of §IV-B, but by now only
+      // the residual dirty set is left to capture. Note reach_quiescent_point
+      // writes the global flag, which itself bumps the meta page's version —
+      // the meta page is always part of the residual set.
+      obs::Span<sim::ThreadCtx> quiesce_span(env_->ctx(),
+                                             "checkpoint.quiesce", "sdk");
+      reach_quiescent_point();
+    }
+    obs::Span<sim::ThreadCtx> span(
+        env_->ctx(), cmd.final_dump ? "delta.final" : "delta.round", "sdk");
+    ControlReply reply;
+    auto wire = dump_delta_segment(cmd, /*baseline=*/false, cmd.final_dump,
+                                   reply.delta);
+    if (!wire.ok()) {
+      abandon_delta();
+      return fail(wire.status().code(), wire.status().message());
+    }
+    span.finish({{"pages", reply.delta.pages_sent},
+                 {"final", cmd.final_dump}});
+    reply.blob = std::move(*wire);
+    if (cmd.final_dump) {
+      // The session is complete: counting stops. The shipped meta page still
+      // carries the armed flag; the target's apply path clears it.
+      env_->write_u64(kOffDeltaTracking, 0);
+      delta_ = DeltaState{};
+    }
+    return reply;
+  }
+
+  // Target side: parse + verify the whole v3 container, reconstructing the
+  // same Checkpoint the classic formats decode to. Every data record's MAC,
+  // the per-segment chain values, per-page version monotonicity, segment
+  // contiguity and page-set completeness are all checked here — a stale,
+  // reordered, spliced or truncated delta never reaches enclave memory.
+  Result<Checkpoint> open_delta(ControlCmd& cmd, ByteSpan key) {
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "delta.apply", "sdk");
+    const sim::CostModel& cost = env_->cost();
+    MIG_ASSIGN_OR_RETURN(std::vector<Bytes> segs,
+                         parse_delta_container(cmd.blob));
+    Bytes root_key = crypto::delta_root_key(key);
+    crypto::Digest chain{};
+    std::map<uint64_t, uint64_t> versions;  // page -> last applied version
+    std::map<uint64_t, Bytes> pages;        // page -> current plaintext
+    std::map<crypto::Digest, Bytes> cache;  // content hash -> plaintext
+    const Bytes zero_page(sgx::kPageSize, 0);
+    const crypto::Digest zero_hash = crypto::Sha256::hash(zero_page);
+    Bytes sealed_trailer;
+    for (uint64_t i = 0; i < segs.size(); ++i) {
+      auto seg = parse_delta_segment(segs[i]);
+      if (!seg.ok())
+        return Error(seg.status().code(), "segment " + std::to_string(i) +
+                                              ": " + seg.status().message());
+      if (seg->index != i)
+        return Error(ErrorCode::kIntegrityViolation,
+                     "delta checkpoint: position " + std::to_string(i) +
+                         " carries segment index " + std::to_string(seg->index));
+      bool last = i + 1 == segs.size();
+      if (seg->final_segment != last)
+        return Error(ErrorCode::kIntegrityViolation,
+                     last ? "delta checkpoint: last segment is not final"
+                          : "delta checkpoint: final segment in the middle");
+      for (const DeltaRecord& rec : seg->records) {
+        if (rec.page >= l_->tracked_pages())
+          return Error(ErrorCode::kIntegrityViolation,
+                       "delta record targets page " + std::to_string(rec.page) +
+                           " outside the enclave");
+        auto vit = versions.find(rec.page);
+        if (vit != versions.end() && rec.version <= vit->second)
+          return Error(ErrorCode::kIntegrityViolation,
+                       "delta record replays a stale version of page " +
+                           std::to_string(rec.page));
+        Bytes plain;
+        crypto::Digest h{};
+        switch (rec.kind) {
+          case DeltaRecordKind::kData: {
+            env_->work(crypto::cipher_cost_ns(seg->alg, rec.payload.size()) +
+                       sim::per_byte_x100(cost.sha256_ns_per_byte_x100,
+                                          rec.payload.size()));
+            auto opened = crypto::open(
+                crypto::delta_page_key(key, rec.page, rec.version),
+                rec.payload);
+            if (!opened.ok())
+              return Error(opened.status().code(),
+                           "delta page " + std::to_string(rec.page) +
+                               " rejected: " + opened.status().message());
+            plain = std::move(*opened);
+            if (plain.size() != sgx::kPageSize)
+              return Error(ErrorCode::kIntegrityViolation,
+                           "delta page is not page-sized");
+            h = crypto::Sha256::hash(plain);
+            cache[h] = plain;
+            break;
+          }
+          case DeltaRecordKind::kZero:
+            plain = zero_page;
+            h = zero_hash;
+            break;
+          case DeltaRecordKind::kDup: {
+            std::copy(rec.payload.begin(), rec.payload.end(), h.begin());
+            auto cit = cache.find(h);
+            if (cit == cache.end())
+              return Error(ErrorCode::kIntegrityViolation,
+                           "dup record references content never applied");
+            plain = cit->second;
+            break;
+          }
+        }
+        chain = crypto::delta_chain_record(root_key, chain, seg->index,
+                                           rec.page, rec.version,
+                                           static_cast<uint8_t>(rec.kind), h);
+        versions[rec.page] = rec.version;
+        pages[rec.page] = std::move(plain);
+      }
+      chain = crypto::delta_chain_close(root_key, chain, seg->index,
+                                        seg->records.size(),
+                                        seg->final_segment,
+                                        crypto::Sha256::hash(seg->trailer));
+      if (!crypto::ct_equal(ByteSpan(chain), ByteSpan(seg->chain)))
+        return Error(ErrorCode::kIntegrityViolation,
+                     "delta chain mismatch at segment " + std::to_string(i));
+      if (seg->final_segment) sealed_trailer = std::move(seg->trailer);
+      obs::metrics().add("delta.segments_applied");
+    }
+    if (sealed_trailer.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta checkpoint: final segment carries no thread state");
+    env_->work(crypto::cipher_cost_ns(crypto::CipherAlg::kChaCha20,
+                                      sealed_trailer.size()));
+    MIG_ASSIGN_OR_RETURN(
+        Bytes workers_blob,
+        crypto::open(crypto::delta_final_key(key), sealed_trailer));
+    Reader tr(workers_blob);
+    Checkpoint c;
+    MIG_ASSIGN_OR_RETURN(c.workers, read_workers(tr));
+    MIG_RETURN_IF_ERROR(tr.finish());
+    // Completeness: every checkpointable page must have shipped at least
+    // once (the baseline guarantees it; a truncated baseline does not).
+    for (uint64_t page : delta_page_list()) {
+      auto pit = pages.find(page);
+      if (pit == pages.end())
+        return Error(ErrorCode::kIntegrityViolation,
+                     "delta checkpoint never shipped page " +
+                         std::to_string(page));
+      if (page == 0)
+        c.meta_page = pit->second;
+      else if (page >= l_->heap_off / sgx::kPageSize)
+        append(c.heap_region, pit->second);
+      else
+        append(c.data_region, pit->second);
+    }
+    return c;
+  }
+
   // ---- kPrepareCheckpoint ---------------------------------------------------
   ControlReply prepare(ControlCmd& cmd) {
     if (self_destroyed())
@@ -508,6 +848,9 @@ class ControlEngine {
     // Kmigrate immediately so the checkpoint will be useless."
     env_->write_bytes(kOffKmigrate, Bytes(32, 0));
     env_->write_u64(kOffGlobalFlag, 0);
+    // A cancelled incremental migration also stops version counting; the
+    // already-shipped segments are dead ciphertext without Kmigrate.
+    abandon_delta();
     return {};
   }
 
@@ -648,25 +991,39 @@ class ControlEngine {
   }
 
   ControlReply restore_with_key(ControlCmd& cmd, ByteSpan key) {
-    // The blob is self-describing: v2 chunked blobs carry the "MGC2" magic,
-    // whose first byte can never collide with a v1 blob's leading CipherAlg.
-    Result<Bytes> plain = Error(ErrorCode::kInternal, "unreachable");
-    if (is_chunked_checkpoint(cmd.blob)) {
-      plain = open_chunked(cmd.blob, key);
+    // The blob is self-describing: v2 chunked blobs carry the "MGC2" magic
+    // and v3 delta containers "MGV3" — neither first byte can collide with a
+    // v1 blob's leading CipherAlg.
+    Result<Checkpoint> parsed = Error(ErrorCode::kInternal, "unreachable");
+    if (is_delta_checkpoint(cmd.blob)) {
+      parsed = open_delta(cmd, key);
+      if (!parsed.ok())
+        return fail(parsed.status().code(), "checkpoint rejected: " +
+                                                parsed.status().message());
     } else {
-      env_->work(crypto::cipher_cost_ns(cmd.cipher, cmd.blob.size()));
-      plain = crypto::open(key, cmd.blob);
+      Result<Bytes> plain = Error(ErrorCode::kInternal, "unreachable");
+      if (is_chunked_checkpoint(cmd.blob)) {
+        plain = open_chunked(cmd.blob, key);
+      } else {
+        env_->work(crypto::cipher_cost_ns(cmd.cipher, cmd.blob.size()));
+        plain = crypto::open(key, cmd.blob);
+      }
+      if (!plain.ok())
+        return fail(plain.status().code(), "checkpoint rejected: " +
+                                               plain.status().message());
+      parsed = parse_checkpoint(*plain);
+      if (!parsed.ok())
+        return fail(parsed.status().code(), "corrupt checkpoint");
     }
-    if (!plain.ok())
-      return fail(plain.status().code(), "checkpoint rejected: " +
-                                             plain.status().message());
-    auto parsed = parse_checkpoint(*plain);
-    if (!parsed.ok()) return fail(parsed.status().code(), "corrupt checkpoint");
     if (parsed->workers.size() != num_workers())
       return fail(ErrorCode::kInvalidArgument, "worker count mismatch");
 
     uint64_t restored = 0;
     env_->write_bytes(0, parsed->meta_page);
+    // A delta checkpoint's meta page arrives with version counting still
+    // armed (the source dumps at quiescence mid-session). Disarm before any
+    // further restore writes — this instance starts its own sessions fresh.
+    env_->write_u64(kOffDeltaTracking, 0);
     env_->write_u64(kOffGlobalFlag, 1);  // stays set until finish_restore
     env_->write_u64(kOffPumpMode, 1);
     for (uint64_t i = 0; i < num_workers(); ++i) {
@@ -1160,6 +1517,7 @@ class ControlEngine {
   ControlDeps* deps_;
   const Layout* l_;
   RestoreState restore_state_;
+  DeltaState delta_;
   // False only while a chunked prepare captures state: the pipeline charges
   // dump traversal per chunk instead (see charge_page_dump()).
   bool charge_dump_ = true;
@@ -1184,6 +1542,8 @@ const char* cmd_name(ControlCmd::Type t) {
     case ControlCmd::Type::kStoreSnapshot: return "ctl.store_snapshot";
     case ControlCmd::Type::kStoreRestore: return "ctl.store_restore";
     case ControlCmd::Type::kAdvanceCounter: return "ctl.advance_counter";
+    case ControlCmd::Type::kDumpBaseline: return "ctl.dump_baseline";
+    case ControlCmd::Type::kDumpDelta: return "ctl.dump_delta";
     case ControlCmd::Type::kNaiveDump: return "ctl.naive_dump";
     case ControlCmd::Type::kShutdown: return "ctl.shutdown";
   }

@@ -18,6 +18,18 @@
 //                        sets the global flag, waits for the quiescent
 //                        point, dumps memory + thread state, seals it under
 //                        a fresh in-enclave Kmigrate.
+//   kDumpBaseline      — incremental checkpointing (wire v3): generate a
+//                        fresh Kmigrate, arm per-page write-version tracking
+//                        and dump EVERY checkpointable page while the worker
+//                        threads keep running. Pages dirtied during or after
+//                        the dump get their version bumped and re-ship in a
+//                        later delta.
+//   kDumpDelta         — ship only the pages re-dirtied since they were
+//                        last shipped. With final_dump set, first reach the
+//                        quiescent point (two-phase protocol), then dump the
+//                        residual dirty set plus the sealed thread contexts
+//                        and disarm tracking — the delta analogue of
+//                        kPrepareCheckpoint's stop-phase dump.
 //   kServeKey          — source role of §V-B: accept exactly ONE key-
 //                        exchange request, remotely attest the requester
 //                        (owner-free), deliver Kmigrate, then self-destroy.
@@ -87,6 +99,8 @@ struct ControlCmd {
     kStoreSnapshot,   // persistent snapshot under a counter-bound seal key
     kStoreRestore,    // cold restore from a snapshot envelope
     kAdvanceCounter,  // invalidate pre-migration snapshots (rollback defense)
+    kDumpBaseline,    // wire v3: arm tracking + full dump, workers running
+    kDumpDelta,       // wire v3: dump re-dirtied pages (final: quiesce first)
     // STRAWMAN used by the §IV-A attack demonstration: dump immediately,
     // trusting that the (untrusted!) OS already stopped the worker threads.
     // The paper's design never uses this; attacks/ does.
@@ -128,12 +142,32 @@ struct ControlCmd {
   // k+1 is still being encrypted — and finishes with an end frame bearing
   // the integrity root. The assembled blob is still returned in the reply.
   std::optional<sim::Channel::End> chunk_stream;
+
+  // ---- incremental checkpointing (wire format v3) ----
+  // kDumpDelta only: this is the stop-phase dump — reach the quiescent point
+  // first, include the sealed thread contexts, and disarm tracking.
+  bool final_dump = false;
+};
+
+// Per-dump accounting for the incremental (wire v3) paths. Filled by
+// kDumpBaseline / kDumpDelta so the migration layer can report how much the
+// delta machinery saved (satellite of the ISSUE: rounds, residual pages,
+// elided/deduped bytes flow into MigrationReport and BENCH_JSON).
+struct DeltaStats {
+  uint64_t pages_scanned = 0;  // checkpointable pages examined this dump
+  uint64_t pages_sent = 0;     // records emitted (data + zero + dup)
+  uint64_t pages_zero = 0;     // zero-elided records
+  uint64_t pages_deduped = 0;  // content-hash dedup references
+  uint64_t wire_bytes = 0;     // encoded segment size
+  uint64_t elided_bytes = 0;   // page bytes NOT shipped thanks to zero elision
+  uint64_t deduped_bytes = 0;  // page bytes NOT shipped thanks to dedup
 };
 
 struct ControlReply {
   Status status = OkStatus();
   Bytes blob;                    // sealed checkpoint out (prepare paths)
   std::vector<PumpPlan> pumps;   // restore path
+  DeltaStats delta;              // kDumpBaseline / kDumpDelta accounting
 };
 
 // One-command-at-a-time rendezvous between untrusted host code and the

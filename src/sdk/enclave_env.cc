@@ -81,13 +81,41 @@ Status EnclaveEnv::try_read_bytes(uint64_t off, size_t n, Bytes& out) {
 void EnclaveEnv::write_bytes(uint64_t off, ByteSpan data) {
   Status st = hw_->enclave_write(*ctx_, *core_, kEnclaveBase + off, data);
   MIG_CHECK_MSG(st.ok(), "enclave write @" << off << ": " << st.to_string());
+  track_write(off, data.size());
+}
+
+// Bumps the version counter of every page the write touched. Armed only
+// while a delta migration session is live (kOffDeltaTracking, set by
+// kDumpBaseline): with tracking off this is a single meta-page read and the
+// write path is otherwise unchanged. Writes to the track region itself are
+// never tracked — that would recurse.
+void EnclaveEnv::track_write(uint64_t off, size_t n) {
+  if (n == 0 || layout_->track_pages == 0) return;
+  if (off >= layout_->track_off || off == kOffDeltaTracking) return;
+  if (read_u64(kOffDeltaTracking) == 0) return;
+  const sim::CostModel& cm = cost();
+  uint64_t first = off / sgx::kPageSize;
+  uint64_t last = (off + n - 1) / sgx::kPageSize;
+  for (uint64_t page = first; page <= last; ++page) {
+    uint64_t slot = layout_->track_off + page * 8;
+    Bytes cur(8);
+    Status st = hw_->enclave_read(*ctx_, *core_, kEnclaveBase + slot, cur);
+    MIG_CHECK_MSG(st.ok(), "track read: " << st.to_string());
+    Reader r(cur);
+    Writer w;
+    w.u64(r.u64() + 1);
+    st = hw_->enclave_write(*ctx_, *core_, kEnclaveBase + slot, w.data());
+    MIG_CHECK_MSG(st.ok(), "track write: " << st.to_string());
+    ctx_->work(cm.delta_track_write_ns);
+  }
 }
 
 Result<uint64_t> EnclaveEnv::heap_alloc(uint64_t bytes) {
   uint64_t next = read_u64(kOffHeapNext);
   if (next == 0) next = layout_->heap_off;
   uint64_t aligned = (bytes + 15) & ~uint64_t{15};
-  if (next + aligned > layout_->size)
+  // The heap ends where the track region begins (it used to end at `size`).
+  if (next + aligned > layout_->track_off)
     return Error(ErrorCode::kResourceExhausted, "enclave heap exhausted");
   write_u64(kOffHeapNext, next + aligned);
   return next;

@@ -103,6 +103,10 @@ class EnclaveEnv {
   sgx::SgxHardware* hw_;
   sgx::CoreState* core_;
   sgx::EnclaveId eid_;
+  // Delta checkpointing: bump the version counter of each page a write
+  // touched (no-op unless kOffDeltaTracking is armed).
+  void track_write(uint64_t off, size_t n);
+
   const Layout* layout_;
   uint64_t thread_idx_;
   uint64_t ns_since_aex_ = 0;

@@ -23,6 +23,9 @@
 //   | data pages (RW)   |  application initial data
 //   +-------------------+
 //   | heap pages (RW)   |  in-enclave malloc arena
+//   +-------------------+
+//   | track pages (RW)  |  per-page write-version counters (wire v3 delta
+//   |                   |  checkpointing) — runtime state, never dumped
 //   +-------------------+ base + size
 #pragma once
 
@@ -52,6 +55,7 @@ inline constexpr uint64_t kOffKeyServed = 48;       // u64: Kmigrate delivered
 inline constexpr uint64_t kOffAgentHasKey = 56;     // u64: agent role holds key
 inline constexpr uint64_t kOffIdentityPriv = 64;    // 160 B: plaintext identity sk
 inline constexpr uint64_t kOffKmigrate = 256;       // 32 B: migration key
+inline constexpr uint64_t kOffDeltaTracking = 288;  // u64: version counting on
 inline constexpr uint64_t kOffAppMeta = 512;        // app-visible scratch
 
 // ---- thread-local page field offsets (within the thread's page) ----
@@ -86,6 +90,8 @@ struct Layout {
   uint64_t code_off = 0;
   uint64_t data_off = 0;
   uint64_t heap_off = 0;
+  uint64_t track_off = 0;     // per-page version counters (u64 each)
+  uint64_t track_pages = 0;
   uint64_t size = 0;
 
   static Layout compute(const LayoutParams& p) {
@@ -107,6 +113,13 @@ struct Layout {
     off += p.data_pages * sgx::kPageSize;
     l.heap_off = off;
     off += p.heap_pages * sgx::kPageSize;
+    // One u64 version counter for every page below the track region. The
+    // counters are runtime state (like the SSA), not application state: they
+    // are excluded from checkpoints and reset by every kDumpBaseline.
+    l.track_off = off;
+    uint64_t tracked = off / sgx::kPageSize;
+    l.track_pages = (tracked * 8 + sgx::kPageSize - 1) / sgx::kPageSize;
+    off += l.track_pages * sgx::kPageSize;
     l.size = off;
     return l;
   }
@@ -121,6 +134,11 @@ struct Layout {
   uint64_t tls_offset(uint64_t idx) const {
     return tls_off + idx * sgx::kPageSize;
   }
+  // Offset of the version counter for the page containing `off`.
+  uint64_t track_slot(uint64_t off) const {
+    return track_off + (off / sgx::kPageSize) * 8;
+  }
+  uint64_t tracked_pages() const { return track_off / sgx::kPageSize; }
   uint64_t total_pages() const { return size / sgx::kPageSize; }
 };
 

@@ -106,6 +106,16 @@ struct CostModel {
   uint64_t page_size = 4096;
   uint64_t precopy_scan_ns_per_page = 120;   // dirty bitmap scan + queueing
   uint64_t vm_stop_resume_ns = 2'000'000;    // pause/unpause + device state
+
+  // ---- incremental enclave checkpointing (wire v3 delta rounds) ----
+  // Bumping a page's version counter on a tracked write: one in-enclave
+  // read-modify-write (the per-write cost of Fig. 9(b)-style instrumentation).
+  uint64_t delta_track_write_ns = 40;
+  // Scanning one version-table entry during a delta round.
+  uint64_t delta_scan_ns_per_page_x100 = 2'000;  // 20 ns/page
+  // Reference dirty rate for a "write-moderate" enclave workload; the delta
+  // benches and property tests pace their writer threads off this knob.
+  uint64_t enclave_dirty_pages_per_sec = 4'000;
 };
 
 // The default model used everywhere unless a test overrides a copy.

@@ -137,7 +137,12 @@ TEST(Layout, RegionsAreDisjointAndOrdered) {
     EXPECT_LT(l.tls_off, l.code_off);
     EXPECT_LT(l.code_off, l.data_off);
     EXPECT_LT(l.data_off, l.heap_off);
-    EXPECT_EQ(l.heap_off + p.heap_pages * sgx::kPageSize, l.size);
+    // The track region (per-page write-version counters) sits after the heap
+    // and closes the enclave; it must hold one u64 per page below it.
+    EXPECT_EQ(l.heap_off + p.heap_pages * sgx::kPageSize, l.track_off);
+    EXPECT_EQ(l.track_off + l.track_pages * sgx::kPageSize, l.size);
+    EXPECT_GE(l.track_pages * sgx::kPageSize, l.tracked_pages() * 8);
+    EXPECT_EQ(l.tracked_pages(), l.track_off / sgx::kPageSize);
     // SSA region exactly nssa frames per TCS.
     EXPECT_EQ(l.tls_off - l.ssa_off, l.num_tcs * sdk::kNssa * sgx::kPageSize);
     // Per-thread offsets stay in their own pages.

@@ -1,0 +1,134 @@
+// Aggregates the benches' machine-readable output into one results file.
+//
+//   mig_bench_collect <out.json> <bench-binary>...
+//
+// Runs each bench binary, scrapes its stdout for `BENCH_JSON {...}` lines
+// (see bench/bench_common.h), sanity-checks each payload is one flat JSON
+// object with a "bench" key, and writes everything to <out.json> as
+//
+//   { "benches": [ { "binary": "ablate_delta", "rows": [ {...}, ... ] } ] }
+//
+// Payloads are spliced through verbatim — the benches emit integral
+// nanoseconds only, so the aggregate is byte-stable across runs. Exit 0 iff
+// every binary ran to exit 0 and produced at least one row; the
+// `bench_collect` ctest leg runs this over the full bench set so a bench
+// that crashes or silently stops emitting rows fails CI.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRun {
+  std::string binary;  // basename of the executable
+  std::vector<std::string> rows;
+};
+
+std::string basename_of(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// One flat JSON object: brace-balanced with quote awareness, no nesting
+// needed beyond what the benches emit. Guards against a torn line, not
+// against adversarial input.
+bool looks_like_row(const std::string& s) {
+  if (s.size() < 2 || s.front() != '{' || s.back() != '}') return false;
+  if (s.find("\"bench\":") == std::string::npos) return false;
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0 && i + 1 != s.size()) return false;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+// Runs `path`, collects its BENCH_JSON payloads. Returns false on spawn
+// failure, nonzero exit, a malformed payload, or zero rows.
+bool run_bench(const std::string& path, BenchRun* out) {
+  out->binary = basename_of(path);
+  std::string cmd = path + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    std::fprintf(stderr, "%s: cannot spawn\n", path.c_str());
+    return false;
+  }
+  const std::string prefix = "BENCH_JSON ";
+  std::string line;
+  bool ok = true;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe)) {
+    line += buf;
+    if (line.empty() || line.back() != '\n') continue;  // torn long line
+    line.pop_back();
+    if (line.rfind(prefix, 0) == 0) {
+      std::string row = line.substr(prefix.size());
+      if (!looks_like_row(row)) {
+        std::fprintf(stderr, "%s: malformed row: %s\n", out->binary.c_str(),
+                     row.c_str());
+        ok = false;
+      } else {
+        out->rows.push_back(std::move(row));
+      }
+    }
+    line.clear();
+  }
+  int rc = pclose(pipe);
+  if (rc != 0) {
+    std::fprintf(stderr, "%s: exit status %d\n", out->binary.c_str(), rc);
+    return false;
+  }
+  if (out->rows.empty()) {
+    std::fprintf(stderr, "%s: no BENCH_JSON rows\n", out->binary.c_str());
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <out.json> <bench-binary>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<BenchRun> runs;
+  bool all_ok = true;
+  for (int i = 2; i < argc; ++i) {
+    BenchRun run;
+    if (!run_bench(argv[i], &run)) all_ok = false;
+    runs.push_back(std::move(run));
+  }
+
+  std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 2;
+  }
+  out << "{\n  \"benches\": [";
+  for (size_t b = 0; b < runs.size(); ++b) {
+    out << (b ? ",\n" : "\n") << "    {\n      \"binary\": \""
+        << runs[b].binary << "\",\n      \"rows\": [";
+    for (size_t r = 0; r < runs[b].rows.size(); ++r)
+      out << (r ? ",\n" : "\n") << "        " << runs[b].rows[r];
+    out << "\n      ]\n    }";
+  }
+  out << "\n  ]\n}\n";
+
+  size_t total = 0;
+  for (const BenchRun& run : runs) total += run.rows.size();
+  std::printf("%zu bench(es), %zu row(s) -> %s\n", runs.size(), total,
+              argv[1]);
+  return all_ok ? 0 : 1;
+}

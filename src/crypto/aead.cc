@@ -254,6 +254,11 @@ Bytes delta_final_key(ByteSpan key32) {
   return hkdf(to_bytes("mig-delta-final"), key32, Bytes{}, 32);
 }
 
+Bytes postcopy_root_key(ByteSpan key32, uint64_t epoch) {
+  MIG_CHECK(key32.size() == 32);
+  return hkdf(to_bytes("mig-postcopy"), key32, le64_bytes(epoch), 32);
+}
+
 Digest delta_chain_record(ByteSpan root_key, ByteSpan prev32, uint64_t segment,
                           uint64_t page_index, uint64_t version, uint8_t kind,
                           const Digest& content_hash) {

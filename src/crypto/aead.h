@@ -101,6 +101,12 @@ Bytes delta_page_key(ByteSpan key32, uint64_t page_index, uint64_t version);
 Bytes delta_root_key(ByteSpan key32);
 Bytes delta_final_key(ByteSpan key32);
 
+// Chain key for the wire-v4 remote-page protocol, bound to the counter epoch
+// the migration commits to (source epoch + 1): a retained pre-migration
+// source derives a different key and every reply it signs is refused.
+//   HKDF("mig-postcopy", key32, le64(epoch)) -> 32 bytes.
+Bytes postcopy_root_key(ByteSpan key32, uint64_t epoch);
+
 // One chain step per record:
 //   HMAC(root_key, prev || seg || page || version || kind || content_hash).
 // `prev32` is the previous chain value (all-zero at session start).

@@ -138,6 +138,15 @@ class GuestOs : public hv::GuestHooks {
   void set_stop_gate(std::function<bool()> gate) {
     stop_gate_ = std::move(gate);
   }
+  // Post-copy fail-closed teardown: the engine calls postcopy_abort() when
+  // the source vanishes mid-pull. The migration session installs the actual
+  // teardown (destroy half-restored enclaves) here; default is a no-op.
+  void postcopy_abort(sim::ThreadCtx& ctx) override {
+    if (postcopy_abort_) postcopy_abort_(ctx);
+  }
+  void set_postcopy_abort(std::function<void(sim::ThreadCtx&)> fn) {
+    postcopy_abort_ = std::move(fn);
+  }
 
   bool migration_in_progress() const { return migration_in_progress_; }
 
@@ -155,6 +164,7 @@ class GuestOs : public hv::GuestHooks {
   bool migration_in_progress_ = false;
   hv::Machine* pending_target_ = nullptr;
   std::function<bool()> stop_gate_;
+  std::function<void(sim::ThreadCtx&)> postcopy_abort_;
 };
 
 }  // namespace mig::guestos

@@ -27,6 +27,11 @@ void MigrationReport::publish_metrics(const char* prefix) const {
   m.set_gauge(p + ".delta_residual_pages", delta_residual_pages);
   m.set_gauge(p + ".delta_elided_bytes", delta_elided_bytes);
   m.set_gauge(p + ".delta_deduped_bytes", delta_deduped_bytes);
+  m.set_gauge(p + ".postcopy_flipped", postcopy_flipped);
+  m.set_gauge(p + ".postcopy_pages", postcopy_pages);
+  m.set_gauge(p + ".postcopy_bytes", postcopy_bytes);
+  m.set_gauge(p + ".postcopy_batches", postcopy_batches);
+  m.set_gauge(p + ".postcopy_ns", postcopy_ns);
 }
 
 namespace {
@@ -38,6 +43,14 @@ enum class Tag : uint8_t {
   kResumeAck = 4,  // u64 target resume timestamp (ns)
   kRestoreDone = 5,  // u64 enclave restore ns, u64 error flag
   kAbort = 6,      // peer-side failure: the migration is off
+
+  // ---- post-copy / hybrid (wire format v4) ----
+  kPageRequest = 7,   // target -> source: u64 pages wanted (demand batch)
+  kPageReply = 8,     // source -> target: u64 pages served (sized frame)
+  kPostcopyDone = 9,  // target -> source: the VM tail is fully pulled
+  kFlip = 10,  // source -> target: stop-and-flip — u64 tail pages left
+               // behind (to be pulled), u64 record/checkpoint bytes riding
+               // this frame. Replaces kStop on the post-copy/hybrid path.
 };
 
 Bytes msg(Tag tag, uint64_t a = 0, uint64_t b = 0) {
@@ -64,7 +77,7 @@ Result<Parsed> parse(ByteSpan data) {
   p.a = r.u64();
   p.b = r.u64();
   if (!r.finish().ok() || tag < static_cast<uint8_t>(Tag::kRound) ||
-      tag > static_cast<uint8_t>(Tag::kAbort)) {
+      tag > static_cast<uint8_t>(Tag::kFlip)) {
     return Error(ErrorCode::kInvalidArgument, "malformed migration frame");
   }
   p.tag = static_cast<Tag>(tag);
@@ -219,36 +232,55 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   }
 
   // --- iterative pre-copy while the VM runs ---
-  for (uint64_t round = 0; round < params_.max_rounds; ++round) {
-    if (dirty <= params_.stop_copy_threshold_pages) break;
-    uint64_t round_start = ctx.now();
-    // Dirty-bitmap scan + queueing (charged inside the round so batching can
-    // overlap it with the wire).
-    Status st = send_round_acked(
-        dirty, delta_pending,
-        cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
-    if (!st.ok()) {
-      abort_source(ctx, vm, link, /*vm_stopped=*/false);
-      return st;
-    }
-    delta_pending = 0;
-    if (delta_active) {
-      // Interleave one enclave delta round per VM round: whatever the
-      // enclaves re-dirtied while this round was on the wire ships with the
-      // next one.
-      Result<uint64_t> d = vm.hooks()->enclave_delta_round(ctx);
-      if (!d.ok()) {
+  // Pure post-copy skips the rounds entirely; hybrid runs them with a
+  // convergence detector that flips the residue to post-copy the moment
+  // another round would be wasted wire.
+  bool flip = params_.post_copy;
+  if (!params_.post_copy) {
+    for (uint64_t round = 0; round < params_.max_rounds; ++round) {
+      if (dirty <= params_.stop_copy_threshold_pages) break;
+      uint64_t before = dirty;
+      uint64_t round_start = ctx.now();
+      // Dirty-bitmap scan + queueing (charged inside the round so batching
+      // can overlap it with the wire).
+      Status st = send_round_acked(
+          dirty, delta_pending,
+          cost_->precopy_scan_ns_per_page * vm.used_pages() / 64);
+      if (!st.ok()) {
         abort_source(ctx, vm, link, /*vm_stopped=*/false);
-        return d.status();
+        return st;
       }
-      if (*d > 0) {
-        delta_pending += *d;
-        report.delta_rounds += 1;
-        report.delta_wire_bytes += *d;
+      delta_pending = 0;
+      if (delta_active) {
+        // Interleave one enclave delta round per VM round: whatever the
+        // enclaves re-dirtied while this round was on the wire ships with the
+        // next one.
+        Result<uint64_t> d = vm.hooks()->enclave_delta_round(ctx);
+        if (!d.ok()) {
+          abort_source(ctx, vm, link, /*vm_stopped=*/false);
+          return d.status();
+        }
+        if (*d > 0) {
+          delta_pending += *d;
+          report.delta_rounds += 1;
+          report.delta_wire_bytes += *d;
+        }
+      }
+      dirty = vm.pages_dirtied_over(ctx.now() - round_start);
+      report.rounds += 1;
+      if (params_.hybrid && report.rounds >= params_.postcopy_min_rounds &&
+          dirty * 8 >= before * 7) {
+        // The round shrank the dirty set by less than 1/8: pre-copy is not
+        // converging at this dirty rate. Flip instead of burning the rest of
+        // max_rounds re-sending pages the guest keeps re-dirtying.
+        flip = true;
+        break;
       }
     }
-    dirty = vm.pages_dirtied_over(ctx.now() - round_start);
-    report.rounds += 1;
+    // Rounds exhausted without converging: hybrid still gets bounded
+    // downtime by flipping; classic pre-copy stop-and-copies the residue.
+    if (params_.hybrid && dirty > params_.stop_copy_threshold_pages)
+      flip = true;
   }
 
   // --- Fig. 8 pipeline: prepare enclaves while the VM still runs ---
@@ -277,50 +309,90 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     // Per-enclave creation/destruction records must be consistent with the
     // final memory image, so they ride in the stop-and-copy round.
     record_bytes = vm.hooks()->enclave_count() * 2048;
-    // Ship the checkpoints, then keep pre-copying until the dirty set has
-    // re-converged AND the guest is fully ready to switch (key pre-delivery
-    // to the agent may still be riding on the WAN, §VI-D — the VM keeps
-    // running meanwhile, which is how that latency stays hidden).
-    // Delta bytes produced after the last pre-copy send (or a baseline that
-    // never saw a round because the dirty set was already converged) still
-    // must cross while the VM runs — merge them with the checkpoint bytes.
-    uint64_t pending_extra = checkpoint_bytes + delta_pending;
-    delta_pending = 0;
-    for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
-         ++extra_rounds) {
-      // The checkpoints must reach the target while the VM still runs (they
-      // live in ordinary guest memory); never stop with them unsent.
-      if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0 &&
-          vm.hooks()->ready_to_stop()) {
-        break;
+    if (!flip) {
+      // Ship the checkpoints, then keep pre-copying until the dirty set has
+      // re-converged AND the guest is fully ready to switch (key pre-delivery
+      // to the agent may still be riding on the WAN, §VI-D — the VM keeps
+      // running meanwhile, which is how that latency stays hidden).
+      // Delta bytes produced after the last pre-copy send (or a baseline that
+      // never saw a round because the dirty set was already converged) still
+      // must cross while the VM runs — merge them with the checkpoint bytes.
+      uint64_t pending_extra = checkpoint_bytes + delta_pending;
+      delta_pending = 0;
+      checkpoint_bytes = 0;
+      for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
+           ++extra_rounds) {
+        // The checkpoints must reach the target while the VM still runs (they
+        // live in ordinary guest memory); never stop with them unsent.
+        if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0 &&
+            vm.hooks()->ready_to_stop()) {
+          break;
+        }
+        if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0) {
+          // Converged but not ready: idle in pre-copy a little longer.
+          ctx.sleep(5'000'000);
+          dirty += vm.pages_dirtied_over(5'000'000);
+          continue;
+        }
+        uint64_t round_start = ctx.now();
+        Status st = send_round_acked(dirty, pending_extra, 0);
+        if (!st.ok()) {
+          abort_source(ctx, vm, link, /*vm_stopped=*/false);
+          return st;
+        }
+        pending_extra = 0;
+        dirty = vm.pages_dirtied_over(ctx.now() - round_start);
+        report.rounds += 1;
       }
-      if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0) {
-        // Converged but not ready: idle in pre-copy a little longer.
+    } else {
+      // Flip path: checkpoints and any unshipped delta bytes still must
+      // cross while the VM runs (they live in ordinary guest memory and can
+      // be large — e.g. a baseline that never rode a pre-copy round), but
+      // the dirty pages themselves stay behind as the post-copy tail. One
+      // extra-bytes-only frame carries them; only the bounded per-enclave
+      // records ride the flip frame inside the downtime window.
+      uint64_t pending_extra = checkpoint_bytes + delta_pending;
+      delta_pending = 0;
+      checkpoint_bytes = 0;
+      if (pending_extra > 0) {
+        uint64_t t0 = ctx.now();
+        Status st = send_round_acked(0, pending_extra, 0);
+        if (!st.ok()) {
+          abort_source(ctx, vm, link, /*vm_stopped=*/false);
+          return st;
+        }
+        report.rounds += 1;
+        dirty += vm.pages_dirtied_over(ctx.now() - t0);
+      }
+      while (!vm.hooks()->ready_to_stop()) {
         ctx.sleep(5'000'000);
         dirty += vm.pages_dirtied_over(5'000'000);
-        continue;
       }
-      uint64_t round_start = ctx.now();
-      Status st = send_round_acked(dirty, pending_extra, 0);
-      if (!st.ok()) {
-        abort_source(ctx, vm, link, /*vm_stopped=*/false);
-        return st;
-      }
-      pending_extra = 0;
-      dirty = vm.pages_dirtied_over(ctx.now() - round_start);
-      report.rounds += 1;
     }
   }
 
-  // --- stop-and-copy ---
+  // --- stop-and-copy (classic) or stop-and-flip (post-copy/hybrid) ---
   uint64_t stop_time = ctx.now();
   obs::Span<sim::ThreadCtx> stop_span(
       ctx, "stop_and_copy", "hv",
-      {{"pages", dirty}, {"record_bytes", record_bytes}});
+      {{"pages", dirty}, {"record_bytes", record_bytes}, {"flip", flip}});
   vm.set_running(false);
   ctx.work_atomic(cost_->vm_stop_resume_ns / 2);  // pause + device save
-  uint64_t final_bytes = dirty * page + record_bytes;
-  link.send_sized(ctx, msg(Tag::kStop, dirty, record_bytes), final_bytes);
+  uint64_t final_bytes;
+  if (flip) {
+    // The residue does NOT cross inside the downtime window: the flip frame
+    // announces it (tail pages to be pulled) and carries only the bounded
+    // migration records + any residual checkpoint bytes.
+    final_bytes = record_bytes + checkpoint_bytes + delta_pending;
+    report.postcopy_flipped = 1;
+    obs::instant(ctx, "postcopy.flip", "hv",
+                 {{"tail_pages", dirty}, {"meta_bytes", final_bytes}});
+    obs::metrics().add("hv.postcopy.flips");
+    link.send_sized(ctx, msg(Tag::kFlip, dirty, final_bytes), final_bytes);
+  } else {
+    final_bytes = dirty * page + record_bytes;
+    link.send_sized(ctx, msg(Tag::kStop, dirty, record_bytes), final_bytes);
+  }
   report.transferred_bytes += final_bytes;
 
   Result<Parsed> p = Error(ErrorCode::kInternal, "unset");
@@ -353,6 +425,44 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   // place proves the target resumed and finished restoring — the migration
   // committed; do not roll back a VM that is live elsewhere. (Downtime is
   // unknowable from this side then and stays 0.)
+
+  if (flip && p->tag == Tag::kResumeAck) {
+    // Serve the target's demand pulls from the retained source image while
+    // the VM already runs over there. Enclave pages travel separately over
+    // the migration session's own page channels; this loop only models the
+    // VM-level tail.
+    obs::Span<sim::ThreadCtx> serve_span(ctx, "postcopy.vm_serve", "hv",
+                                         {{"tail_pages", dirty}});
+    for (bool done = false; !done;) {
+      Result<Parsed> q = recv_parsed(ctx.now() + params_.restore_timeout_ns);
+      if (!q.ok()) return q.status();
+      switch (q->tag) {
+        case Tag::kRoundAck:
+          break;  // stale ack from a retransmitted pre-flip round
+        case Tag::kPageRequest: {
+          uint64_t bytes = q->a * page;
+          link.send_sized(ctx, msg(Tag::kPageReply, q->a), bytes);
+          report.transferred_bytes += bytes;
+          report.postcopy_pages += q->a;
+          report.postcopy_bytes += bytes;
+          report.postcopy_batches += 1;
+          break;
+        }
+        case Tag::kPostcopyDone:
+          report.postcopy_ns = ctx.now() - stop_time;
+          done = true;
+          break;
+        case Tag::kAbort:
+          return Error(ErrorCode::kAborted,
+                       "target aborted the post-copy pull");
+        default:
+          return Error(ErrorCode::kInternal, "migration protocol desync");
+      }
+    }
+    serve_span.finish({{"pages", report.postcopy_pages},
+                       {"batches", report.postcopy_batches}});
+    obs::metrics().add("hv.postcopy.pages_served", report.postcopy_pages);
+  }
 
   // Wait for the guest-side enclave restore report (Fig. 10(a)). Past the
   // resume ack the VM belongs to the target, so there is no rollback here:
@@ -408,16 +518,67 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
     }
     if (p->tag == Tag::kAbort)
       return Error(ErrorCode::kAborted, "source aborted the migration");
-    if (p->tag != Tag::kStop) {
+    if (p->tag != Tag::kStop && p->tag != Tag::kFlip) {
       link.send(ctx, msg(Tag::kAbort));
       return Error(ErrorCode::kInvalidArgument, "unexpected migration message");
     }
-    // Apply final pages + device state, then resume the VM.
+    // Apply final pages + device state, then resume the VM. On a flip the
+    // final frame carries only records — the page tail stays on the source.
     ctx.work_atomic(cost_->vm_stop_resume_ns / 2);
     vm.set_running(true);
     uint64_t resume_time = ctx.now();
     link.send(ctx, msg(Tag::kResumeAck, resume_time));
     obs::instant(ctx, "vm.resumed", "hv");
+
+    if (p->tag == Tag::kFlip) {
+      // Demand-pull the tail with the VM already live. A quiet, corrupting
+      // or aborting source fails CLOSED: stop the VM and let the guest tear
+      // down anything the flip landed, rather than run on a partial image.
+      report.postcopy_flipped = 1;
+      uint64_t remaining = p->a;
+      obs::Span<sim::ThreadCtx> pull_span(ctx, "postcopy.vm_pull", "hv",
+                                          {{"pages", remaining}});
+      auto fail_closed = [&](Status why) -> Status {
+        pull_span.finish({{"outcome", "fail_closed"}});
+        obs::instant(ctx, "postcopy.vm_abort", "hv",
+                     {{"pages_owed", remaining}});
+        obs::metrics().add("hv.postcopy.aborts");
+        vm.set_running(false);
+        if (vm.hooks() != nullptr) vm.hooks()->postcopy_abort(ctx);
+        return why;
+      };
+      while (remaining > 0) {
+        uint64_t batch = std::min(params_.postcopy_batch_pages, remaining);
+        link.send(ctx, msg(Tag::kPageRequest, batch));
+        std::optional<Bytes> pm = link.recv_deadline(
+            ctx, ctx.now() + params_.target_recv_timeout_ns);
+        if (!pm.has_value())
+          return fail_closed(
+              Error(ErrorCode::kDeadlineExceeded,
+                    "post-copy source went quiet; target fails closed"));
+        Result<Parsed> q = parse(*pm);
+        if (!q.ok()) {
+          link.send(ctx, msg(Tag::kAbort));
+          return fail_closed(q.status());
+        }
+        if (q->tag == Tag::kAbort)
+          return fail_closed(
+              Error(ErrorCode::kAborted, "source aborted the migration"));
+        if (q->tag != Tag::kPageReply) {
+          link.send(ctx, msg(Tag::kAbort));
+          return fail_closed(
+              Error(ErrorCode::kInternal, "migration protocol desync"));
+        }
+        remaining -= std::min(q->a, remaining);
+        report.postcopy_pages += q->a;
+        report.postcopy_batches += 1;
+      }
+      link.send(ctx, msg(Tag::kPostcopyDone));
+      report.postcopy_ns = ctx.now() - resume_time;
+      pull_span.finish({{"batches", report.postcopy_batches}});
+      obs::instant(ctx, "postcopy.vm_tail_complete", "hv");
+      obs::metrics().add("hv.postcopy.pages_pulled", report.postcopy_pages);
+    }
     // Enclave rebuild/restore happens with the VM already live.
     if (vm.hooks() != nullptr) {
       obs::Span<sim::ThreadCtx> restore_span(ctx, "resume_enclaves", "hv");

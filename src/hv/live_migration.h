@@ -48,6 +48,24 @@ struct MigrationParams {
   // Source side: how long to wait for the target's enclave-restore report
   // (covers rebuild + WAN attestation + CSSA pumping for many enclaves).
   uint64_t restore_timeout_ns = 120'000'000'000;  // 120 s
+
+  // ---- post-copy / hybrid (wire format v4) ----
+  // post_copy: skip pre-copy entirely — stop, ship only device state and
+  // migration records (kFlip), resume on the target immediately, and let the
+  // target demand-pull every used page over the same link. Downtime is
+  // bounded by the flip frame regardless of the dirty rate.
+  bool post_copy = false;
+  // hybrid: pre-copy while it converges; the moment a round fails to shrink
+  // the dirty set (or rounds run out) flip the residue to post-copy instead
+  // of pre-copying forever. Converged workloads behave like pre-copy with a
+  // tiny pulled tail; adversarial dirty rates get post-copy's bounded
+  // downtime.
+  bool hybrid = false;
+  // Give hybrid's convergence detector at least this many rounds of signal
+  // before it may flip.
+  uint64_t postcopy_min_rounds = 2;
+  // Target demand-pull batch size (pages per kPageRequest).
+  uint64_t postcopy_batch_pages = 512;
 };
 
 struct MigrationReport {
@@ -69,6 +87,14 @@ struct MigrationReport {
   uint64_t delta_residual_pages = 0;  // pages left for the stop-phase dump
   uint64_t delta_elided_bytes = 0;    // page bytes saved by zero elision
   uint64_t delta_deduped_bytes = 0;   // page bytes saved by content dedup
+
+  // ---- post-copy / hybrid (wire format v4) ----
+  // All zero on the pure pre-copy path.
+  uint64_t postcopy_flipped = 0;      // 1 if the migration switched to post-copy
+  uint64_t postcopy_pages = 0;        // VM pages pulled after the flip
+  uint64_t postcopy_bytes = 0;        // wire bytes of the pulled tail
+  uint64_t postcopy_batches = 0;      // kPageRequest/kPageReply exchanges
+  uint64_t postcopy_ns = 0;           // flip -> tail drained (VM runs throughout)
 
   // Folds every field into the metrics registry as `<prefix>.<field>` gauges
   // so that engine-level numbers, trace-derived numbers and bench output all

@@ -74,6 +74,12 @@ class GuestHooks {
     (void)ctx;
     return uint64_t{0};
   }
+
+  // ---- post-copy / hybrid (wire format v4) ----
+  // Target side, fail-closed: the source vanished while post-copy pages were
+  // still owed. The guest must not keep any partially-restored state — tear
+  // down whatever the flip already landed. Default: nothing to tear down.
+  virtual void postcopy_abort(sim::ThreadCtx& ctx) { (void)ctx; }
 };
 
 struct VmConfig {

@@ -1,5 +1,6 @@
 #include "migration/session.h"
 
+#include "migration/page_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sdk/chunk_wire.h"
@@ -52,6 +53,9 @@ Result<EnclaveMigrator::DeltaDump> EnclaveMigrator::dump_delta(
   cmd.type = sdk::ControlCmd::Type::kDumpDelta;
   cmd.cipher = opts.cipher;
   cmd.final_dump = final_dump;
+  // Post-copy: the residual dirty pages stay behind as kRemote manifest
+  // records and the enclave arms its page service for the pull phase.
+  cmd.postcopy_tail = final_dump && opts.post_copy;
   sdk::ControlReply reply = host.mailbox().post(ctx, cmd);
   MIG_RETURN_IF_ERROR(reply.status);
   return DeltaDump{std::move(reply.blob), reply.delta};
@@ -115,6 +119,7 @@ Status EnclaveMigrator::restore(
   restore_cmd.type = sdk::ControlCmd::Type::kRestore;
   restore_cmd.cipher = opts.cipher;
   restore_cmd.blob = std::move(checkpoint);
+  restore_cmd.allow_postcopy = opts.post_copy;
 
   std::unique_ptr<sim::Channel> channel;
   struct ServeOutcome {
@@ -153,6 +158,60 @@ Status EnclaveMigrator::restore(
     MIG_RETURN_IF_ERROR(serve_out->status);
   }
   MIG_RETURN_IF_ERROR(restored.status);
+
+  // Post-copy tail: the checkpoint promised some pages by hash only; pull
+  // and verify-apply them from the retained source image before the CSSA
+  // replay — kFinishRestore refuses while any are outstanding.
+  if (!restored.postcopy_pending.empty()) {
+    obs::Span<sim::ThreadCtx> tail_span(
+        ctx, "restore.postcopy_tail", "migration",
+        {{"pages", restored.postcopy_pending.size()}});
+    PagePullOptions popts;
+    popts.demand_batch = opts.postcopy_demand_batch;
+    popts.prefetch_pages = opts.postcopy_prefetch;
+    popts.reply_timeout_ns = opts.postcopy_reply_timeout_ns;
+
+    std::unique_ptr<sim::Channel> page_ch;
+    std::unique_ptr<ServeOutcome> page_serve_out;
+    std::optional<sim::Channel::End> client_end;
+    if (opts.page_channel != nullptr) {
+      // The caller owns the link and the source-side serve loop (tests use
+      // this to tamper with and sever the channel).
+      client_end = *opts.page_channel;
+    } else {
+      if (source_instance == nullptr)
+        return Error(ErrorCode::kFailedPrecondition,
+                     "post-copy tail pending but the source enclave is gone");
+      page_ch = world_->make_channel();
+      client_end = page_ch->b();
+      page_serve_out = std::make_unique<ServeOutcome>(world_->executor());
+      sdk::ControlMailbox* smb = source_instance->mailbox.get();
+      sim::Channel* pch = page_ch.get();
+      ServeOutcome* pout = page_serve_out.get();
+      uint64_t prefetch = opts.postcopy_prefetch;
+      world_->executor().spawn(
+          "page-service", [smb, pch, pout, prefetch](sim::ThreadCtx& c) {
+            PageServiceOptions sopts;
+            sopts.prefetch_pages = prefetch;
+            pout->status = serve_pages(c, *smb, pch->a(), sopts).status();
+            pout->done.set(c);
+          });
+    }
+    Result<PagePullStats> pulled =
+        pull_pages(ctx, host.mailbox(), *client_end, restored.postcopy_pending,
+                   restored.postcopy_epoch, popts);
+    if (page_serve_out != nullptr) {
+      // Join the serve loop before the channel (and possibly the source
+      // instance) can go away. On a failed pull it retires at its idle
+      // timeout — virtual time only.
+      page_serve_out->done.wait(ctx);
+    }
+    MIG_RETURN_IF_ERROR(pulled.status());
+    if (page_serve_out != nullptr)
+      MIG_RETURN_IF_ERROR(page_serve_out->status);
+    tail_span.finish(
+        {{"requests", pulled->requests}, {"bytes", pulled->bytes}});
+  }
 
   // Step-3 (cont.): the untrusted library replays EENTER/AEX to pump CSSA.
   {
@@ -346,7 +405,16 @@ VmMigrationSession::VmMigrationSession(hv::World& world, hv::Vm& vm,
       source_(&source),
       target_(&target),
       opts_(std::move(opts)),
-      migrator_(world) {}
+      migrator_(world) {
+  // The enclave-side post-copy manifest is carved out of the final delta
+  // dump, so both post-copy modes ride the incremental machinery; mirror the
+  // mode into the engine's params so the VM side flips too.
+  if (opts_.post_copy || opts_.hybrid) {
+    opts_.incremental = true;
+    opts_.precopy.post_copy = opts_.post_copy;
+    opts_.precopy.hybrid = opts_.hybrid;
+  }
+}
 
 void VmMigrationSession::manage(sdk::EnclaveHost& host) {
   guestos::Process* proc = &host.process();
@@ -375,6 +443,7 @@ EnclaveMigrateOptions VmMigrationSession::enclave_opts() const {
   opts.chunk_bytes = opts_.chunk_bytes;
   opts.seal_workers = opts_.seal_workers;
   opts.counter_service = opts_.counter_service;
+  opts.post_copy = opts_.post_copy || opts_.hybrid;
   return opts;
 }
 
@@ -643,6 +712,24 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
     }
     return true;
   });
+  if (opts_.post_copy || opts_.hybrid) {
+    // VM-level fail-closed: the engine calls this when the source vanishes
+    // mid-pull. No enclave restore has started at that point (resume runs
+    // after the VM tail drains), but any target instance a racing restore
+    // bound must not survive on a partial image.
+    guest_->set_postcopy_abort([this](sim::ThreadCtx& c) {
+      obs::instant(c, "postcopy.session_abort", "migration");
+      for (auto& [proc, enclaves] : managed_) {
+        (void)proc;
+        for (ManagedEnclave& m : enclaves) {
+          if (m.host->instance() == nullptr) continue;
+          sdk::ControlCmd abort_cmd;
+          abort_cmd.type = sdk::ControlCmd::Type::kAbortPostcopy;
+          (void)m.host->mailbox().post(c, abort_cmd);
+        }
+      }
+    });
+  }
   auto channel = world_->make_channel();
   hv::LiveMigrationEngine engine(world_->cost(), opts_.precopy);
 

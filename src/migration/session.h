@@ -52,6 +52,20 @@ struct EnclaveMigrateOptions {
   // dead (rollback defense — see store/counter_service.h). Also required by
   // the snapshot_to_store / restore_from_store paths.
   store::CounterService* counter_service = nullptr;
+
+  // ---- post-copy (wire format v4) ----
+  // dump_delta(final): leave the residual dirty pages behind as kRemote
+  // manifest records and arm the source page service. restore(): accept the
+  // manifest and pull the tail over the remote-page protocol before
+  // kFinishRestore (which refuses while pages are outstanding).
+  bool post_copy = false;
+  // Client end of the page link for restore()'s pull. When null, restore
+  // creates an internal channel and spawns the source-side serve loop
+  // itself; tests pass their own end to control (and sever) the link.
+  sim::Channel::End* page_channel = nullptr;
+  uint64_t postcopy_demand_batch = 8;   // faults bundled per request frame
+  uint64_t postcopy_prefetch = 8;       // fault-adjacent pages served along
+  uint64_t postcopy_reply_timeout_ns = 5'000'000'000;  // then fail closed
 };
 
 // Moves one enclave of `host` from its current instance to the guest's
@@ -180,6 +194,14 @@ class VmMigrationSession {
     // the quiescent point — the enclave analogue of pre-copy itself. Off by
     // default; the classic path stays byte-identical on the wire.
     bool incremental = false;
+    // ---- post-copy / hybrid (wire format v4) ----
+    // post_copy: flip the VM immediately (no pre-copy rounds) and leave the
+    // residual enclave pages behind as a kRemote manifest pulled on demand.
+    // hybrid: pre-copy (VM rounds + enclave delta rounds) while it
+    // converges, then flip the residue. Both imply `incremental` — the
+    // manifest is carved out of the final delta dump.
+    bool post_copy = false;
+    bool hybrid = false;
   };
 
   VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,

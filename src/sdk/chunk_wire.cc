@@ -15,6 +15,7 @@ constexpr char kEndMagic[4] = {'C', 'E', 'N', 'D'};
 constexpr char kSnapMagic[4] = {'M', 'G', 'S', '1'};
 constexpr char kDeltaSegMagic[4] = {'M', 'G', 'D', '3'};
 constexpr char kDeltaBoxMagic[4] = {'M', 'G', 'V', '3'};
+constexpr char kPageMagic[4] = {'M', 'G', 'P', '4'};
 
 bool has_magic(ByteSpan b, const char (&magic)[4]) {
   if (b.size() < 4) return false;
@@ -246,7 +247,7 @@ Result<DeltaSegment> parse_delta_segment(ByteSpan blob) {
     rec.version = r.u64();
     uint8_t kind = r.u8();
     rec.payload = r.bytes();
-    if (!r.ok() || kind > static_cast<uint8_t>(DeltaRecordKind::kDup))
+    if (!r.ok() || kind > static_cast<uint8_t>(DeltaRecordKind::kRemote))
       return Error(ErrorCode::kIntegrityViolation,
                    "delta segment: bad record " + std::to_string(i));
     rec.kind = static_cast<DeltaRecordKind>(kind);
@@ -256,6 +257,12 @@ Result<DeltaSegment> parse_delta_segment(ByteSpan blob) {
     if (rec.kind == DeltaRecordKind::kDup && rec.payload.size() != 32)
       return Error(ErrorCode::kIntegrityViolation,
                    "delta segment: dup record without a 32-byte hash");
+    if (rec.kind == DeltaRecordKind::kRemote && rec.payload.size() != 32)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta segment: remote record without a 32-byte hash");
+    if (rec.kind == DeltaRecordKind::kRemote && fin != 1)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "delta segment: remote record outside the final segment");
     seg.records.push_back(std::move(rec));
   }
   seg.trailer = r.bytes();
@@ -296,6 +303,116 @@ Result<std::vector<Bytes>> parse_delta_container(ByteSpan blob) {
   }
   MIG_RETURN_IF_ERROR(r.finish());
   return segments;
+}
+
+// ---- remote-page protocol (wire format v4) ----
+
+bool is_page_frame(ByteSpan blob) { return has_magic(blob, kPageMagic); }
+
+std::optional<PageFrameKind> page_frame_kind(ByteSpan blob) {
+  if (!has_magic(blob, kPageMagic) || blob.size() < 5) return std::nullopt;
+  uint8_t kind = blob[4];
+  if (kind > static_cast<uint8_t>(PageFrameKind::kDone)) return std::nullopt;
+  return static_cast<PageFrameKind>(kind);
+}
+
+Bytes encode_page_request(const PageRequest& req) {
+  MIG_CHECK(req.epoch != 0);
+  MIG_CHECK(!req.pages.empty());
+  Writer w;
+  put_magic(w, kPageMagic);
+  w.u8(static_cast<uint8_t>(PageFrameKind::kRequest));
+  w.u64(req.epoch);
+  w.u64(req.pages.size());
+  for (uint64_t page : req.pages) w.u64(page);
+  return w.take();
+}
+
+Bytes encode_page_reply(const PageReply& reply) {
+  MIG_CHECK(reply.epoch != 0);
+  Writer w;
+  put_magic(w, kPageMagic);
+  w.u8(static_cast<uint8_t>(PageFrameKind::kReply));
+  w.u64(reply.epoch);
+  w.u64(reply.first_seq);
+  w.u64(reply.records.size());
+  for (const PageReplyRecord& rec : reply.records) {
+    MIG_CHECK(rec.chain.size() == 32);
+    w.u64(rec.page);
+    w.u64(rec.version);
+    w.bytes(rec.sealed);
+    w.raw(rec.chain);
+  }
+  return w.take();
+}
+
+Bytes encode_page_done() {
+  Writer w;
+  put_magic(w, kPageMagic);
+  w.u8(static_cast<uint8_t>(PageFrameKind::kDone));
+  return w.take();
+}
+
+Result<PageRequest> parse_page_request(ByteSpan blob) {
+  if (page_frame_kind(blob) != PageFrameKind::kRequest)
+    return Error(ErrorCode::kIntegrityViolation, "not a page request");
+  Reader r(blob.subspan(5));
+  PageRequest req;
+  req.epoch = r.u64();
+  uint64_t count = r.u64();
+  if (!r.ok() || req.epoch == 0)
+    return Error(ErrorCode::kIntegrityViolation, "page request malformed");
+  if (count == 0 || count > kMaxPageRecords)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "page request: absurd page count");
+  req.pages.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t page = r.u64();
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "page request: truncated at page index " +
+                       std::to_string(i));
+    if (!req.pages.empty() && page <= req.pages.back())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "page request: pages not strictly increasing at index " +
+                       std::to_string(i));
+    req.pages.push_back(page);
+  }
+  MIG_RETURN_IF_ERROR(r.finish());
+  return req;
+}
+
+Result<PageReply> parse_page_reply(ByteSpan blob) {
+  if (page_frame_kind(blob) != PageFrameKind::kReply)
+    return Error(ErrorCode::kIntegrityViolation, "not a page reply");
+  Reader r(blob.subspan(5));
+  PageReply reply;
+  reply.epoch = r.u64();
+  reply.first_seq = r.u64();
+  uint64_t count = r.u64();
+  if (!r.ok() || reply.epoch == 0)
+    return Error(ErrorCode::kIntegrityViolation, "page reply malformed");
+  if (count == 0 || count > kMaxPageRecords)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "page reply: absurd record count");
+  reply.records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PageReplyRecord rec;
+    rec.page = r.u64();
+    rec.version = r.u64();
+    rec.sealed = r.bytes();
+    rec.chain = r.raw(32);
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "page reply: truncated at record " + std::to_string(i));
+    if (rec.sealed.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "page reply: empty sealed payload at record " +
+                       std::to_string(i));
+    reply.records.push_back(std::move(rec));
+  }
+  MIG_RETURN_IF_ERROR(r.finish());
+  return reply;
 }
 
 }  // namespace mig::sdk

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "crypto/aead.h"
@@ -145,6 +146,11 @@ enum class DeltaRecordKind : uint8_t {
   kData = 0,
   kZero = 1,
   kDup = 2,
+  // Post-copy manifest entry (wire v4): the page stays behind on the source
+  // and will be pulled on demand. The payload is the 32-byte SHA-256 of the
+  // page content at the quiescent point; the record still advances the keyed
+  // chain, so the manifest itself cannot be dropped, reordered or spliced.
+  kRemote = 3,
 };
 
 struct DeltaRecord {
@@ -178,5 +184,68 @@ Bytes encode_delta_container(const std::vector<Bytes>& segments);
 // trailing bytes. Segment blobs are returned unparsed (the apply path parses
 // and verifies them one by one, naming the segment that failed).
 Result<std::vector<Bytes>> parse_delta_container(ByteSpan blob);
+
+// ---- remote-page protocol (wire format v4) ----
+//
+// Post-copy/hybrid migration ships the residual dirty tail as kRemote
+// manifest records (above) and then pulls the actual page content over the
+// untrusted link, one batched request/reply exchange per fault burst:
+//
+//   request: "MGP4" | u8 0 | u64 epoch | u64 count
+//            | count x u64 page            (strictly increasing)
+//   reply:   "MGP4" | u8 1 | u64 epoch | u64 first_seq | u64 count
+//            | count x ( u64 page | u64 version | bytes sealed
+//                        | chain (32 raw bytes) )
+//   done:    "MGP4" | u8 2                 (client -> service: hang up)
+//
+// `epoch` is the counter epoch the migration commits to (source epoch + 1):
+// a retained pre-migration source — or a fork restored from an older
+// snapshot — carries an older epoch, derives different chain/page keys, and
+// its replies are refused. Each reply record extends the wire-v3 delta chain
+// (seeded from the final segment's closing value) with sequence number
+// `first_seq + i`, so replayed, reordered or spliced replies surface as one
+// chain mismatch at apply time. Pages are sealed under the same
+// (page, version)-bound subkeys as delta records.
+
+inline constexpr uint64_t kMaxPageRecords = 1u << 16;
+
+enum class PageFrameKind : uint8_t {
+  kRequest = 0,
+  kReply = 1,
+  kDone = 2,
+};
+
+struct PageRequest {
+  uint64_t epoch = 0;
+  std::vector<uint64_t> pages;  // strictly increasing
+};
+
+struct PageReplyRecord {
+  uint64_t page = 0;
+  uint64_t version = 0;
+  Bytes sealed;  // page sealed under the (page, version)-bound subkey
+  Bytes chain;   // 32-byte running-chain value *after* this record
+};
+
+struct PageReply {
+  uint64_t epoch = 0;
+  uint64_t first_seq = 0;  // chain sequence number of the first record
+  std::vector<PageReplyRecord> records;
+};
+
+// True iff `blob` starts with the v4 magic (any frame kind).
+bool is_page_frame(ByteSpan blob);
+// Kind of a v4 frame, or nullopt if not even the magic matches.
+std::optional<PageFrameKind> page_frame_kind(ByteSpan blob);
+
+Bytes encode_page_request(const PageRequest& req);
+Bytes encode_page_reply(const PageReply& reply);
+Bytes encode_page_done();
+
+// Defensive: reject bad magic/kind, epoch 0, empty or absurd page lists,
+// non-increasing request pages, empty sealed payloads, short chains,
+// truncation (naming the failing record) and trailing bytes.
+Result<PageRequest> parse_page_request(ByteSpan blob);
+Result<PageReply> parse_page_reply(ByteSpan blob);
 
 }  // namespace mig::sdk

@@ -109,6 +109,9 @@ class ControlEngine {
       case ControlCmd::Type::kAdvanceCounter: return advance_counter(cmd);
       case ControlCmd::Type::kDumpBaseline: return dump_baseline(cmd);
       case ControlCmd::Type::kDumpDelta: return dump_delta(cmd);
+      case ControlCmd::Type::kServePages: return serve_pages(cmd);
+      case ControlCmd::Type::kApplyPages: return apply_pages(cmd);
+      case ControlCmd::Type::kAbortPostcopy: return abort_postcopy(cmd);
       case ControlCmd::Type::kNaiveDump: return naive_dump(cmd);
       case ControlCmd::Type::kShutdown: return {};
     }
@@ -491,6 +494,37 @@ class ControlEngine {
     std::set<crypto::Digest> shipped_hashes;  // content already on the wire
   };
 
+  // Post-copy (wire v4) source state, armed by the final kDumpDelta when the
+  // residual tail stays behind as kRemote manifest records. Serving keeps
+  // working after self-destroy on purpose: the image froze at the quiescent
+  // point and resumed workers only ever spin, so the content each manifest
+  // entry promises can never change again.
+  struct PageServeState {
+    bool armed = false;
+    Bytes root_key;    // postcopy_root_key(Kmigrate, epoch)
+    Bytes kmigrate;    // page seal keys derive from this
+    crypto::Digest chain{};  // continues the wire-v3 delta chain
+    uint64_t next_seq = 0;
+    uint64_t epoch = 0;  // counter epoch replies are bound to (source + 1)
+    crypto::CipherAlg cipher = crypto::CipherAlg::kRc4;
+    std::map<uint64_t, uint64_t> manifest;  // page -> version still owed
+  };
+
+  // Post-copy target state between kRestore and the last kApplyPages.
+  struct PageApplyState {
+    bool active = false;
+    Bytes root_key;
+    Bytes kmigrate;
+    crypto::Digest chain{};
+    uint64_t next_seq = 0;
+    uint64_t epoch = 0;
+    struct Pending {
+      uint64_t version = 0;
+      crypto::Digest hash{};
+    };
+    std::map<uint64_t, Pending> pending;  // page -> what the manifest promised
+  };
+
   // The pages the delta records cover, in canonical order: the meta page,
   // then the data region, then the heap. TLS + SSA state travels in the
   // final segment's sealed trailer instead — the same split the classic
@@ -524,7 +558,13 @@ class ControlEngine {
   // found nothing re-dirtied (no segment is emitted; the chain and segment
   // counter stay untouched).
   Result<Bytes> dump_delta_segment(ControlCmd& cmd, bool baseline, bool final,
-                                   DeltaStats& stats) {
+                                   DeltaStats& stats,
+                                   std::map<uint64_t, uint64_t>* remote_out =
+                                       nullptr) {
+    // A post-copy tail turns residual data pages into kRemote manifest
+    // records (hash + version, no payload); the meta page always ships in
+    // full, since the target cannot restore without it.
+    const bool remote_tail = final && cmd.postcopy_tail;
     const sim::CostModel& cost = env_->cost();
     Bytes kmigrate = env_->read_bytes(kOffKmigrate, 32);
     const Bytes zero_page(sgx::kPageSize, 0);
@@ -565,6 +605,13 @@ class ControlEngine {
         rec.payload.assign(h.begin(), h.end());
         ++stats.pages_deduped;
         stats.deduped_bytes += sgx::kPageSize;
+      } else if (remote_tail && page != 0) {
+        // kRemote never feeds shipped_hashes: a second identical residual
+        // page also goes remote, so dup records only ever reference content
+        // the target has actually applied.
+        rec.kind = DeltaRecordKind::kRemote;
+        rec.payload.assign(h.begin(), h.end());
+        if (remote_out != nullptr) (*remote_out)[page] = version;
       } else {
         rec.kind = DeltaRecordKind::kData;
         env_->work(crypto::cipher_cost_ns(cmd.cipher, content.size()));
@@ -655,8 +702,9 @@ class ControlEngine {
     obs::Span<sim::ThreadCtx> span(
         env_->ctx(), cmd.final_dump ? "delta.final" : "delta.round", "sdk");
     ControlReply reply;
+    std::map<uint64_t, uint64_t> remote;
     auto wire = dump_delta_segment(cmd, /*baseline=*/false, cmd.final_dump,
-                                   reply.delta);
+                                   reply.delta, &remote);
     if (!wire.ok()) {
       abandon_delta();
       return fail(wire.status().code(), wire.status().message());
@@ -665,6 +713,31 @@ class ControlEngine {
                  {"final", cmd.final_dump}});
     reply.blob = std::move(*wire);
     if (cmd.final_dump) {
+      if (cmd.postcopy_tail) {
+        // Arm the page service before the session state is dropped. The
+        // epoch is the value the migration commits to: the target advances
+        // the counter to source epoch + 1 when restore completes, so a fork
+        // of this enclave restored from an older snapshot (older epoch)
+        // derives different keys and its replies are refused.
+        Bytes kmigrate = env_->read_bytes(kOffKmigrate, 32);
+        page_serve_ = PageServeState{};
+        page_serve_.armed = true;
+        page_serve_.epoch = env_->read_u64(kOffCounterEpoch) + 1;
+        page_serve_.kmigrate = kmigrate;
+        page_serve_.root_key =
+            crypto::postcopy_root_key(kmigrate, page_serve_.epoch);
+        page_serve_.chain = delta_.chain;
+        page_serve_.cipher = cmd.cipher;
+        page_serve_.manifest = std::move(remote);
+        for (const auto& [page, version] : page_serve_.manifest) {
+          (void)version;
+          reply.postcopy_pending.push_back(page);
+        }
+        reply.postcopy_epoch = page_serve_.epoch;
+        obs::instant(env_->ctx(), "postcopy.armed", "sdk",
+                     {{"pages", page_serve_.manifest.size()},
+                      {"epoch", page_serve_.epoch}});
+      }
       // The session is complete: counting stops. The shipped meta page still
       // carries the armed flag; the target's apply path clears it.
       env_->write_u64(kOffDeltaTracking, 0);
@@ -678,7 +751,10 @@ class ControlEngine {
   // the per-segment chain values, per-page version monotonicity, segment
   // contiguity and page-set completeness are all checked here — a stale,
   // reordered, spliced or truncated delta never reaches enclave memory.
-  Result<Checkpoint> open_delta(ControlCmd& cmd, ByteSpan key) {
+  Result<Checkpoint> open_delta(
+      ControlCmd& cmd, ByteSpan key,
+      std::map<uint64_t, PageApplyState::Pending>* remote_out = nullptr,
+      crypto::Digest* chain_out = nullptr) {
     obs::Span<sim::ThreadCtx> span(env_->ctx(), "delta.apply", "sdk");
     const sim::CostModel& cost = env_->cost();
     MIG_ASSIGN_OR_RETURN(std::vector<Bytes> segs,
@@ -750,10 +826,31 @@ class ControlEngine {
             plain = cit->second;
             break;
           }
+          case DeltaRecordKind::kRemote: {
+            if (!cmd.allow_postcopy || remote_out == nullptr)
+              return Error(ErrorCode::kIntegrityViolation,
+                           "remote record for page " +
+                               std::to_string(rec.page) +
+                               " refused: post-copy is not enabled");
+            if (rec.page == 0)
+              return Error(ErrorCode::kIntegrityViolation,
+                           "meta page cannot be remote");
+            // The page stays a zero placeholder until kApplyPages delivers
+            // content matching this hash at this version.
+            std::copy(rec.payload.begin(), rec.payload.end(), h.begin());
+            plain = zero_page;
+            PageApplyState::Pending p;
+            p.version = rec.version;
+            p.hash = h;
+            (*remote_out)[rec.page] = p;
+            break;
+          }
         }
         chain = crypto::delta_chain_record(root_key, chain, seg->index,
                                            rec.page, rec.version,
                                            static_cast<uint8_t>(rec.kind), h);
+        if (rec.kind != DeltaRecordKind::kRemote && remote_out != nullptr)
+          remote_out->erase(rec.page);
         versions[rec.page] = rec.version;
         pages[rec.page] = std::move(plain);
       }
@@ -794,7 +891,190 @@ class ControlEngine {
       else
         append(c.data_region, pit->second);
     }
+    if (chain_out != nullptr) *chain_out = chain;
     return c;
+  }
+
+  // ---- kServePages (wire v4 source role) -------------------------------------
+  // Answers one page-request frame from the frozen post-copy manifest. No
+  // self_destroyed() guard on purpose: the source serves pages AFTER serving
+  // Kmigrate (which self-destroys it), and a frozen image can only tell the
+  // truth. Each manifest page is served exactly once — a replayed request
+  // finds it gone.
+  ControlReply serve_pages(ControlCmd& cmd) {
+    if (!page_serve_.armed)
+      return fail(ErrorCode::kFailedPrecondition,
+                  "no post-copy manifest armed");
+    auto req = parse_page_request(cmd.blob);
+    if (!req.ok())
+      return fail(req.status().code(),
+                  "page request rejected: " + req.status().message());
+    if (req->epoch != page_serve_.epoch)
+      return fail(ErrorCode::kPermissionDenied,
+                  "page request bound to epoch " + std::to_string(req->epoch) +
+                      "; this source serves epoch " +
+                      std::to_string(page_serve_.epoch));
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "postcopy.serve", "sdk");
+    const sim::CostModel& cost = env_->cost();
+    // Expand each demand fault with up to prefetch_pages adjacent manifest
+    // pages (fault locality: the next fault is likely the next page).
+    std::set<uint64_t> to_serve;
+    for (uint64_t page : req->pages) {
+      if (page_serve_.manifest.count(page) == 0)
+        return fail(ErrorCode::kInvalidArgument,
+                    "page " + std::to_string(page) +
+                        " is not in the post-copy manifest");
+      to_serve.insert(page);
+      for (uint64_t n = 1; n <= cmd.prefetch_pages; ++n) {
+        if (page_serve_.manifest.count(page + n) == 0) break;
+        to_serve.insert(page + n);
+      }
+    }
+    uint64_t prefetched = to_serve.size() - req->pages.size();
+    PageReply frame;
+    frame.epoch = page_serve_.epoch;
+    frame.first_seq = page_serve_.next_seq;
+    for (uint64_t page : to_serve) {
+      uint64_t version = page_serve_.manifest.at(page);
+      Bytes content;
+      Status st = env_->try_read_bytes(page * sgx::kPageSize, sgx::kPageSize,
+                                       content);
+      if (!st.ok()) return fail(st.code(), st.message());
+      charge_page_dump();
+      env_->work(sim::per_byte_x100(cost.sha256_ns_per_byte_x100,
+                                    content.size()) +
+                 crypto::cipher_cost_ns(page_serve_.cipher, content.size()));
+      crypto::Digest h = crypto::Sha256::hash(content);
+      PageReplyRecord rec;
+      rec.page = page;
+      rec.version = version;
+      rec.sealed = crypto::seal(
+          page_serve_.cipher,
+          crypto::delta_page_key(page_serve_.kmigrate, page, version),
+          content);
+      page_serve_.chain = crypto::delta_chain_record(
+          page_serve_.root_key, page_serve_.chain, page_serve_.next_seq, page,
+          version, static_cast<uint8_t>(DeltaRecordKind::kData), h);
+      rec.chain.assign(page_serve_.chain.begin(), page_serve_.chain.end());
+      ++page_serve_.next_seq;
+      frame.records.push_back(std::move(rec));
+      page_serve_.manifest.erase(page);
+    }
+    obs::metrics().add("postcopy.pages_served", frame.records.size());
+    obs::metrics().add("postcopy.prefetched", prefetched);
+    span.finish({{"pages", frame.records.size()},
+                 {"remaining", page_serve_.manifest.size()}});
+    ControlReply reply;
+    reply.blob = encode_page_reply(frame);
+    for (const auto& [page, version] : page_serve_.manifest) {
+      (void)version;
+      reply.postcopy_pending.push_back(page);
+    }
+    return reply;
+  }
+
+  // ---- kApplyPages (wire v4 target role) -------------------------------------
+  // Verify-applies one page reply: epoch binding, chain continuity from the
+  // delta chain, manifest version + content hash, and the per-page MAC all
+  // have to hold before a byte reaches enclave memory.
+  ControlReply apply_pages(ControlCmd& cmd) {
+    if (!page_apply_.active)
+      return fail(ErrorCode::kFailedPrecondition,
+                  "no post-copy restore in progress");
+    auto frame = parse_page_reply(cmd.blob);
+    if (!frame.ok())
+      return fail(frame.status().code(),
+                  "page reply rejected: " + frame.status().message());
+    if (frame->epoch != page_apply_.epoch)
+      return fail(ErrorCode::kIntegrityViolation,
+                  "page reply from a stale epoch (" +
+                      std::to_string(frame->epoch) + ", expected " +
+                      std::to_string(page_apply_.epoch) + "); refused");
+    if (frame->first_seq != page_apply_.next_seq)
+      return fail(ErrorCode::kIntegrityViolation,
+                  "page reply out of chain order: expected seq " +
+                      std::to_string(page_apply_.next_seq) + ", got " +
+                      std::to_string(frame->first_seq) + "; replay refused");
+    obs::Span<sim::ThreadCtx> span(env_->ctx(), "postcopy.apply", "sdk");
+    const sim::CostModel& cost = env_->cost();
+    uint64_t applied = 0;
+    for (const PageReplyRecord& rec : frame->records) {
+      auto pit = page_apply_.pending.find(rec.page);
+      if (pit == page_apply_.pending.end())
+        return fail(ErrorCode::kIntegrityViolation,
+                    "page " + std::to_string(rec.page) +
+                        " was never outstanding; splice refused");
+      if (rec.version != pit->second.version)
+        return fail(ErrorCode::kIntegrityViolation,
+                    "page " + std::to_string(rec.page) + " carries version " +
+                        std::to_string(rec.version) +
+                        ", manifest promised " +
+                        std::to_string(pit->second.version));
+      env_->work(crypto::cipher_cost_ns(cmd.cipher, rec.sealed.size()) +
+                 sim::per_byte_x100(cost.sha256_ns_per_byte_x100,
+                                    rec.sealed.size()));
+      auto opened = crypto::open(
+          crypto::delta_page_key(page_apply_.kmigrate, rec.page, rec.version),
+          rec.sealed);
+      if (!opened.ok())
+        return fail(opened.status().code(),
+                    "served page " + std::to_string(rec.page) +
+                        " rejected: " + opened.status().message());
+      if (opened->size() != sgx::kPageSize)
+        return fail(ErrorCode::kIntegrityViolation,
+                    "served page is not page-sized");
+      crypto::Digest h = crypto::Sha256::hash(*opened);
+      if (!crypto::ct_equal(h, pit->second.hash))
+        return fail(ErrorCode::kIntegrityViolation,
+                    "page " + std::to_string(rec.page) +
+                        " content does not match the manifest; splice refused");
+      crypto::Digest expect = crypto::delta_chain_record(
+          page_apply_.root_key, page_apply_.chain, page_apply_.next_seq,
+          rec.page, rec.version,
+          static_cast<uint8_t>(DeltaRecordKind::kData), h);
+      if (rec.chain.size() != 32 ||
+          !crypto::ct_equal(ByteSpan(expect), ByteSpan(rec.chain)))
+        return fail(ErrorCode::kIntegrityViolation,
+                    "post-copy chain mismatch at page " +
+                        std::to_string(rec.page));
+      env_->write_bytes(rec.page * sgx::kPageSize, *opened);
+      env_->work(sim::per_byte_x100(cost.restore_write_ns_per_byte_x100,
+                                    opened->size()));
+      page_apply_.chain = expect;
+      ++page_apply_.next_seq;
+      page_apply_.pending.erase(pit);
+      ++applied;
+    }
+    obs::metrics().add("postcopy.pages_applied", applied);
+    span.finish({{"pages", applied},
+                 {"remaining", page_apply_.pending.size()}});
+    ControlReply reply;
+    for (const auto& [page, p] : page_apply_.pending) {
+      (void)p;
+      reply.postcopy_pending.push_back(page);
+    }
+    if (page_apply_.pending.empty())
+      obs::instant(env_->ctx(), "postcopy.tail_complete", "sdk");
+    return reply;
+  }
+
+  // ---- kAbortPostcopy (fail closed) ------------------------------------------
+  // Source outage mid-post-copy: part of this enclave's state never arrived,
+  // so there is nothing to roll forward and no key this instance could ever
+  // serve. Self-destroy exactly like a stale-epoch fence — the global flag
+  // stays set forever and resumed workers spin. The source's sealed image
+  // (and any store snapshot from before the migration) remains the
+  // restorable copy: this failed target never advanced the counter, so
+  // pre-migration snapshots still open.
+  ControlReply abort_postcopy(ControlCmd&) {
+    page_apply_ = PageApplyState{};
+    restore_state_ = RestoreState{};
+    env_->write_u64(kOffGlobalFlag, 1);
+    env_->write_u64(kOffSelfDestroyed, 1);
+    obs::instant(env_->ctx(), "postcopy.fail_closed", "sdk");
+    obs::metrics().add("postcopy.aborts");
+    return fail(ErrorCode::kAborted,
+                "post-copy source outage; target self-destroyed (fail closed)");
   }
 
   // ---- kPrepareCheckpoint ---------------------------------------------------
@@ -849,8 +1129,10 @@ class ControlEngine {
     env_->write_bytes(kOffKmigrate, Bytes(32, 0));
     env_->write_u64(kOffGlobalFlag, 0);
     // A cancelled incremental migration also stops version counting; the
-    // already-shipped segments are dead ciphertext without Kmigrate.
+    // already-shipped segments are dead ciphertext without Kmigrate. An
+    // armed post-copy manifest dies with the key it was derived from.
     abandon_delta();
+    page_serve_ = PageServeState{};
     return {};
   }
 
@@ -995,8 +1277,10 @@ class ControlEngine {
     // and v3 delta containers "MGV3" — neither first byte can collide with a
     // v1 blob's leading CipherAlg.
     Result<Checkpoint> parsed = Error(ErrorCode::kInternal, "unreachable");
+    std::map<uint64_t, PageApplyState::Pending> remote;
+    crypto::Digest delta_chain{};
     if (is_delta_checkpoint(cmd.blob)) {
-      parsed = open_delta(cmd, key);
+      parsed = open_delta(cmd, key, &remote, &delta_chain);
       if (!parsed.ok())
         return fail(parsed.status().code(), "checkpoint rejected: " +
                                                 parsed.status().message());
@@ -1012,8 +1296,11 @@ class ControlEngine {
         return fail(plain.status().code(), "checkpoint rejected: " +
                                                plain.status().message());
       parsed = parse_checkpoint(*plain);
+      // Keep the inner detail (e.g. which chunk or region failed): the
+      // store-restore and session layers surface this string verbatim.
       if (!parsed.ok())
-        return fail(parsed.status().code(), "corrupt checkpoint");
+        return fail(parsed.status().code(), "corrupt checkpoint: " +
+                                                parsed.status().message());
     }
     if (parsed->workers.size() != num_workers())
       return fail(ErrorCode::kInvalidArgument, "worker count mismatch");
@@ -1044,6 +1331,27 @@ class ControlEngine {
     for (uint64_t i = 0; i < num_workers(); ++i) {
       uint64_t pumps = restore_state_.ckpt.workers[i].true_cssa;
       if (pumps > 0) reply.pumps.push_back(PumpPlan{i, pumps});
+    }
+    page_apply_ = PageApplyState{};
+    if (!remote.empty()) {
+      // Post-copy tail: arm the apply state. The epoch is read from the
+      // restored meta page (the source's epoch at the quiescent point) + 1 —
+      // the value this migration will advance the counter to on commit.
+      page_apply_.active = true;
+      page_apply_.epoch = env_->read_u64(kOffCounterEpoch) + 1;
+      page_apply_.kmigrate.assign(key.begin(), key.end());
+      page_apply_.root_key =
+          crypto::postcopy_root_key(page_apply_.kmigrate, page_apply_.epoch);
+      page_apply_.chain = delta_chain;
+      page_apply_.pending = std::move(remote);
+      for (const auto& [page, p] : page_apply_.pending) {
+        (void)p;
+        reply.postcopy_pending.push_back(page);
+      }
+      reply.postcopy_epoch = page_apply_.epoch;
+      obs::instant(env_->ctx(), "postcopy.pull_armed", "sdk",
+                   {{"pages", page_apply_.pending.size()},
+                    {"epoch", page_apply_.epoch}});
     }
     return reply;
   }
@@ -1129,6 +1437,13 @@ class ControlEngine {
   ControlReply finish_restore(ControlCmd&) {
     if (!restore_state_.active)
       return fail(ErrorCode::kFailedPrecondition, "no restore in progress");
+    // Post-copy: the enclave only finishes restore once every remote page
+    // arrived and verified — workers must never run on placeholder pages.
+    if (page_apply_.active && !page_apply_.pending.empty())
+      return fail(ErrorCode::kFailedPrecondition,
+                  "post-copy tail incomplete: " +
+                      std::to_string(page_apply_.pending.size()) +
+                      " page(s) outstanding");
     const Checkpoint& c = restore_state_.ckpt;
     for (uint64_t i = 0; i < num_workers(); ++i) {
       const WorkerSnapshot& w = c.workers[i];
@@ -1162,6 +1477,7 @@ class ControlEngine {
     env_->write_u64(kOffKeyServed, 0);
     env_->write_u64(kOffGlobalFlag, 0);
     restore_state_ = RestoreState{};
+    page_apply_ = PageApplyState{};
     return {};
   }
 
@@ -1518,6 +1834,8 @@ class ControlEngine {
   const Layout* l_;
   RestoreState restore_state_;
   DeltaState delta_;
+  PageServeState page_serve_;
+  PageApplyState page_apply_;
   // False only while a chunked prepare captures state: the pipeline charges
   // dump traversal per chunk instead (see charge_page_dump()).
   bool charge_dump_ = true;
@@ -1544,6 +1862,9 @@ const char* cmd_name(ControlCmd::Type t) {
     case ControlCmd::Type::kAdvanceCounter: return "ctl.advance_counter";
     case ControlCmd::Type::kDumpBaseline: return "ctl.dump_baseline";
     case ControlCmd::Type::kDumpDelta: return "ctl.dump_delta";
+    case ControlCmd::Type::kServePages: return "ctl.serve_pages";
+    case ControlCmd::Type::kApplyPages: return "ctl.apply_pages";
+    case ControlCmd::Type::kAbortPostcopy: return "ctl.abort_postcopy";
     case ControlCmd::Type::kNaiveDump: return "ctl.naive_dump";
     case ControlCmd::Type::kShutdown: return "ctl.shutdown";
   }

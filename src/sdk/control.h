@@ -101,6 +101,13 @@ struct ControlCmd {
     kAdvanceCounter,  // invalidate pre-migration snapshots (rollback defense)
     kDumpBaseline,    // wire v3: arm tracking + full dump, workers running
     kDumpDelta,       // wire v3: dump re-dirtied pages (final: quiesce first)
+    kServePages,      // wire v4 source role: answer one page-request frame
+                      // from the frozen post-copy manifest (works after
+                      // self-destroy — the image is frozen, workers parked)
+    kApplyPages,      // wire v4 target role: verify-apply one page reply
+                      // (epoch, chain, version and content hash all checked)
+    kAbortPostcopy,   // fail-closed: source outage mid-post-copy; the target
+                      // self-destroys rather than run on a partial image
     // STRAWMAN used by the §IV-A attack demonstration: dump immediately,
     // trusting that the (untrusted!) OS already stopped the worker threads.
     // The paper's design never uses this; attacks/ does.
@@ -147,6 +154,21 @@ struct ControlCmd {
   // kDumpDelta only: this is the stop-phase dump — reach the quiescent point
   // first, include the sealed thread contexts, and disarm tracking.
   bool final_dump = false;
+
+  // ---- post-copy (wire format v4) ----
+  // kDumpDelta final: ship the residual dirty data/heap pages as kRemote
+  // manifest records (hash + version only) and arm the page service so the
+  // retained image can answer kServePages afterwards. The meta page and the
+  // thread-context trailer always travel in full.
+  bool postcopy_tail = false;
+  // kRestore / kStoreRestore: accept kRemote manifest records; the reply
+  // then carries the outstanding pages in `postcopy_pending` and
+  // kFinishRestore refuses until kApplyPages drained them all.
+  bool allow_postcopy = false;
+  // kServePages: serve up to this many manifest pages adjacent to each
+  // requested page in the same reply (fault-locality prefetch). 0 = exactly
+  // the requested pages.
+  uint64_t prefetch_pages = 0;
 };
 
 // Per-dump accounting for the incremental (wire v3) paths. Filled by
@@ -168,6 +190,12 @@ struct ControlReply {
   Bytes blob;                    // sealed checkpoint out (prepare paths)
   std::vector<PumpPlan> pumps;   // restore path
   DeltaStats delta;              // kDumpBaseline / kDumpDelta accounting
+  // Post-copy: pages still owed by the source after this command (sorted).
+  // kRestore fills it from the kRemote manifest; kApplyPages returns the
+  // shrinking remainder; kServePages returns what the source still holds.
+  std::vector<uint64_t> postcopy_pending;
+  // Post-copy: the counter epoch replies must be bound to (kRestore only).
+  uint64_t postcopy_epoch = 0;
 };
 
 // One-command-at-a-time rendezvous between untrusted host code and the

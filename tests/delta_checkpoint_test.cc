@@ -470,5 +470,139 @@ TEST(DeltaProperty, InterleavingsNeverDivergeFromQuiescentState) {
   }
 }
 
+// ---- defensive decoder hardening (MGS1 / MGV3 / MGC2) -------------------------
+// Pure wire-level negatives: hostile blobs must be refused by the parse
+// alone, before any key material or enclave state is involved. Each test
+// first round-trips a well-formed blob as a positive control so a framing
+// mistake in the hand-built hostile variant cannot pass as a rejection.
+
+TEST(ChunkWireNegative, ZeroLengthBlobIsRefusedByEveryDecoder) {
+  Bytes empty;
+  EXPECT_FALSE(sdk::is_chunked_checkpoint(empty));
+  EXPECT_FALSE(sdk::is_snapshot_envelope(empty));
+  EXPECT_FALSE(sdk::is_delta_segment(empty));
+  EXPECT_FALSE(sdk::is_delta_checkpoint(empty));
+  EXPECT_FALSE(sdk::is_page_frame(empty));
+  EXPECT_FALSE(sdk::parse_chunked_checkpoint(empty).ok());
+  EXPECT_FALSE(sdk::parse_snapshot_envelope(empty).ok());
+  EXPECT_FALSE(sdk::parse_delta_segment(empty).ok());
+  EXPECT_FALSE(sdk::parse_delta_container(empty).ok());
+  EXPECT_FALSE(sdk::parse_page_request(empty).ok());
+  EXPECT_FALSE(sdk::parse_page_reply(empty).ok());
+}
+
+TEST(ChunkWireNegative, DuplicateChunkIndexIsRefused) {
+  sdk::ChunkedHeader h;
+  h.chunk_bytes = 16;
+  h.chunk_count = 2;
+  h.total_bytes = 32;
+  std::vector<Bytes> chunks = {to_bytes("sealed-chunk-zero"),
+                               to_bytes("sealed-chunk-one!")};
+  Bytes root(32, 0xab);
+  ASSERT_TRUE(sdk::parse_chunked_checkpoint(
+                  sdk::encode_chunked_checkpoint(h, chunks, root))
+                  .ok());
+
+  // Same layout, but the second record claims index 0 again: a spliced blob
+  // trying to make one ciphertext count twice.
+  Writer w;
+  w.raw(to_bytes("MGC2"));
+  w.u8(static_cast<uint8_t>(h.alg));
+  w.u64(h.chunk_bytes);
+  w.u64(h.chunk_count);
+  w.u64(h.total_bytes);
+  w.u64(0);
+  w.bytes(chunks[0]);
+  w.u64(0);  // duplicate index, should be 1
+  w.bytes(chunks[1]);
+  w.raw(root);
+  auto dup = sdk::parse_chunked_checkpoint(w.data());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), ErrorCode::kIntegrityViolation);
+  EXPECT_NE(dup.status().message().find("bad chunk record 1"),
+            std::string::npos)
+      << dup.status().message();
+}
+
+TEST(ChunkWireNegative, SegmentCountOffByOneIsRefusedBothWays) {
+  Bytes s0 = to_bytes("segment-zero-bytes");
+  Bytes s1 = to_bytes("segment-one-bytes!");
+  ASSERT_TRUE(
+      sdk::parse_delta_container(sdk::encode_delta_container({s0, s1})).ok());
+
+  // Header promises one segment MORE than the body carries.
+  Writer over;
+  over.raw(to_bytes("MGV3"));
+  over.u64(3);
+  over.bytes(s0);
+  over.bytes(s1);
+  auto o = sdk::parse_delta_container(over.data());
+  ASSERT_FALSE(o.ok());
+  EXPECT_EQ(o.status().code(), ErrorCode::kIntegrityViolation);
+  EXPECT_NE(o.status().message().find("truncated at segment 2"),
+            std::string::npos)
+      << o.status().message();
+
+  // Header promises one segment LESS: the extra one is trailing garbage a
+  // lazy parser would silently drop (and with it, the final segment).
+  Writer under;
+  under.raw(to_bytes("MGV3"));
+  under.u64(1);
+  under.bytes(s0);
+  under.bytes(s1);
+  EXPECT_FALSE(sdk::parse_delta_container(under.data()).ok());
+
+  // Zero segments is not a checkpoint at all.
+  Writer zero;
+  zero.raw(to_bytes("MGV3"));
+  zero.u64(0);
+  auto z = sdk::parse_delta_container(zero.data());
+  ASSERT_FALSE(z.ok());
+  EXPECT_NE(z.status().message().find("absurd segment count"),
+            std::string::npos)
+      << z.status().message();
+}
+
+TEST(ChunkWireNegative, SnapshotEnvelopeNegatives) {
+  sdk::SnapshotEnvelope env;
+  env.mrenclave = Bytes(32, 0x5c);
+  env.counter = 7;
+  env.inner = to_bytes("sealed-checkpoint-bytes");
+  Bytes good = sdk::encode_snapshot_envelope(env);
+  ASSERT_TRUE(sdk::parse_snapshot_envelope(good).ok());
+
+  // Counter 0 is never granted by the counter service, so an envelope
+  // claiming it is hostile by construction (the encoder refuses to even
+  // build one — hand-craft it).
+  Writer w;
+  w.raw(to_bytes("MGS1"));
+  w.raw(env.mrenclave);
+  w.u64(0);
+  w.bytes(env.inner);
+  auto zero = sdk::parse_snapshot_envelope(w.data());
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().message().find("counter 0"), std::string::npos)
+      << zero.status().message();
+
+  Bytes none;
+  Writer e;
+  e.raw(to_bytes("MGS1"));
+  e.raw(env.mrenclave);
+  e.u64(7);
+  e.bytes(none);
+  auto empty_inner = sdk::parse_snapshot_envelope(e.data());
+  ASSERT_FALSE(empty_inner.ok());
+  EXPECT_NE(empty_inner.status().message().find("empty sealed payload"),
+            std::string::npos)
+      << empty_inner.status().message();
+
+  Bytes cut = good;
+  cut.pop_back();
+  EXPECT_FALSE(sdk::parse_snapshot_envelope(cut).ok());
+  Bytes extra = good;
+  extra.push_back(0);
+  EXPECT_FALSE(sdk::parse_snapshot_envelope(extra).ok());
+}
+
 }  // namespace
 }  // namespace mig::migration

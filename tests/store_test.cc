@@ -383,14 +383,26 @@ TEST(StoreEnvelope, EveryTamperedFieldIsRejectedCleanly) {
       EXPECT_EQ(bed.counters.counter(mre), 1u);
     }
     // Corrupt payload: the OPENGRANT goes through (fail-closed: the epoch is
-    // burned), but the per-chunk MAC rejects it — naming the failing chunk.
+    // burned), but the per-chunk MAC rejects it — naming EXACTLY the chunk
+    // that failed, so an operator can tell a bit-rotted object from a
+    // wholesale substitution. Corrupt a known chunk (the last) rather than a
+    // blind byte so the index in the message is predictable.
     {
       sdk::SnapshotEnvelope e = *envelope;
-      e.inner[e.inner.size() / 2] ^= 1;
+      auto parsed = sdk::parse_chunked_checkpoint(e.inner);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+      size_t victim = parsed->sealed_chunks.size() - 1;
+      Bytes& sealed = parsed->sealed_chunks[victim];
+      sealed[sealed.size() / 2] ^= 1;
+      e.inner = sdk::encode_chunked_checkpoint(parsed->header,
+                                               parsed->sealed_chunks,
+                                               parsed->root);
       Status st = attempt(sdk::encode_snapshot_envelope(e),
                           /*reaches_service=*/true);
       EXPECT_EQ(st.code(), ErrorCode::kIntegrityViolation) << st.to_string();
-      EXPECT_NE(st.message().find("chunk "), std::string::npos)
+      EXPECT_NE(st.message().find("chunk " + std::to_string(victim) + " of " +
+                                  std::to_string(parsed->header.chunk_count)),
+                std::string::npos)
           << st.message();
       EXPECT_EQ(bed.counters.counter(mre), 2u);
     }

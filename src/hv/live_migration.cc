@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -32,6 +33,10 @@ void MigrationReport::publish_metrics(const char* prefix) const {
   m.set_gauge(p + ".postcopy_bytes", postcopy_bytes);
   m.set_gauge(p + ".postcopy_batches", postcopy_batches);
   m.set_gauge(p + ".postcopy_ns", postcopy_ns);
+  // Trace-derived phase budgets ride along when the session attached them,
+  // so the engine's totals and the attribution ledger publish together and
+  // any drift between the two is visible in one metrics dump.
+  attribution.publish();
 }
 
 namespace {
@@ -97,6 +102,8 @@ void LiveMigrationEngine::abort_source(sim::ThreadCtx& ctx, Vm& vm,
   obs::instant(ctx, "migration.abort", "hv",
                {{"side", "source"}, {"vm_stopped", vm_stopped}});
   obs::metrics().add("hv.aborts");
+  obs::flight(ctx, "hv.source", "abort",
+              vm_stopped ? "phase=stop_and_copy" : "phase=precopy");
   // Best effort: a severed link simply drops this.
   link.send(ctx, msg(Tag::kAbort));
   if (vm_stopped) {
@@ -378,6 +385,9 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
       {{"pages", dirty}, {"record_bytes", record_bytes}, {"flip", flip}});
   vm.set_running(false);
   ctx.work_atomic(cost_->vm_stop_resume_ns / 2);  // pause + device save
+  // Downtime-window boundary for the attribution analyzer: device state is
+  // saved, the final wire copy starts now.
+  obs::instant(ctx, "stop.device_saved", "hv");
   uint64_t final_bytes;
   if (flip) {
     // The residue does NOT cross inside the downtime window: the flip frame
@@ -435,7 +445,11 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
                                          {{"tail_pages", dirty}});
     for (bool done = false; !done;) {
       Result<Parsed> q = recv_parsed(ctx.now() + params_.restore_timeout_ns);
-      if (!q.ok()) return q.status();
+      if (!q.ok()) {
+        obs::flight(ctx, "hv.source", "postcopy_serve_failed",
+                    q.status().to_string());
+        return q.status();
+      }
       switch (q->tag) {
         case Tag::kRoundAck:
           break;  // stale ack from a retransmitted pre-flip round
@@ -453,9 +467,13 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
           done = true;
           break;
         case Tag::kAbort:
+          obs::flight(ctx, "hv.source", "postcopy_serve_failed",
+                      "target aborted the post-copy pull");
           return Error(ErrorCode::kAborted,
                        "target aborted the post-copy pull");
         default:
+          obs::flight(ctx, "hv.source", "postcopy_serve_failed",
+                      "migration protocol desync");
           return Error(ErrorCode::kInternal, "migration protocol desync");
       }
     }
@@ -473,11 +491,21 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     Result<Parsed> d = p->tag == Tag::kRestoreDone
                            ? p
                            : recv_parsed(ctx.now() + params_.restore_timeout_ns);
-    if (!d.ok()) return d.status();
-    if (d->tag != Tag::kRestoreDone)
+    if (!d.ok()) {
+      obs::flight(ctx, "hv.source", "restore_wait_failed",
+                  d.status().to_string());
+      return d.status();
+    }
+    if (d->tag != Tag::kRestoreDone) {
+      obs::flight(ctx, "hv.source", "restore_wait_failed",
+                  "no restore report");
       return Error(ErrorCode::kInternal, "no restore report");
-    if (d->b != 0)
+    }
+    if (d->b != 0) {
+      obs::flight(ctx, "hv.source", "restore_wait_failed",
+                  "enclave restore failed on target");
       return Error(ErrorCode::kAborted, "enclave restore failed on target");
+    }
     report.enclave_restore_ns = d->a;
   }
   report.total_ns = ctx.now() - start;
@@ -499,6 +527,8 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
     std::optional<Bytes> m =
         link.recv_deadline(ctx, ctx.now() + params_.target_recv_timeout_ns);
     if (!m.has_value()) {
+      obs::flight(ctx, "hv.target", "link_quiet",
+                  "migration link went quiet; target aborting");
       return Error(ErrorCode::kDeadlineExceeded,
                    "migration link went quiet; target aborting");
     }
@@ -506,6 +536,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
     if (!p.ok()) {
       // Corrupted/truncated frame from the (untrusted) link: tell the source
       // best-effort and bail out before touching any VM state.
+      obs::flight(ctx, "hv.target", "bad_frame", p.status().to_string());
       link.send(ctx, msg(Tag::kAbort));
       return p.status();
     }
@@ -516,14 +547,23 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
       link.send(ctx, msg(Tag::kRoundAck));
       continue;
     }
-    if (p->tag == Tag::kAbort)
+    if (p->tag == Tag::kAbort) {
+      obs::flight(ctx, "hv.target", "source_abort",
+                  "source aborted the migration");
       return Error(ErrorCode::kAborted, "source aborted the migration");
+    }
     if (p->tag != Tag::kStop && p->tag != Tag::kFlip) {
+      obs::flight(ctx, "hv.target", "bad_frame",
+                  "unexpected migration message");
       link.send(ctx, msg(Tag::kAbort));
       return Error(ErrorCode::kInvalidArgument, "unexpected migration message");
     }
     // Apply final pages + device state, then resume the VM. On a flip the
     // final frame carries only records — the page tail stays on the source.
+    // Downtime-window boundary: the final frame has fully arrived; what
+    // remains of the downtime is target-side device restore.
+    obs::instant(ctx, "stop.final_received", "hv",
+                 {{"flip", p->tag == Tag::kFlip}});
     ctx.work_atomic(cost_->vm_stop_resume_ns / 2);
     vm.set_running(true);
     uint64_t resume_time = ctx.now();
@@ -543,6 +583,9 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
         obs::instant(ctx, "postcopy.vm_abort", "hv",
                      {{"pages_owed", remaining}});
         obs::metrics().add("hv.postcopy.aborts");
+        obs::flight(ctx, "hv.target", "fail_closed",
+                    "phase=postcopy_pull pages_owed=" +
+                        std::to_string(remaining) + " " + why.to_string());
         vm.set_running(false);
         if (vm.hooks() != nullptr) vm.hooks()->postcopy_abort(ctx);
         return why;
@@ -585,6 +628,8 @@ Result<MigrationReport> LiveMigrationEngine::migrate_target(
       Result<uint64_t> restore = vm.hooks()->resume_enclaves_after_migration(ctx);
       restore_span.finish({{"ok", restore.ok()}});
       if (!restore.ok()) {
+        obs::flight(ctx, "hv.target", "enclave_restore_failed",
+                    restore.status().to_string());
         link.send(ctx, msg(Tag::kRestoreDone, 0, /*error=*/1));
         return restore.status();
       }

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "hv/vm.h"
+#include "obs/attribution.h"
 #include "sim/executor.h"
 #include "sim/network.h"
 #include "util/status.h"
@@ -95,6 +96,14 @@ struct MigrationReport {
   uint64_t postcopy_bytes = 0;        // wire bytes of the pulled tail
   uint64_t postcopy_batches = 0;      // kPageRequest/kPageReply exchanges
   uint64_t postcopy_ns = 0;           // flip -> tail drained (VM runs throughout)
+
+  // ---- trace-derived phase budgets (observability) ----
+  // Attached by the session layer after a traced run: the span-tree fold of
+  // the capture (obs::attribute_migration). Its downtime_ns re-derives this
+  // report's downtime_ns from the trace alone — the two must agree exactly,
+  // which publish_metrics() makes checkable by emitting both. Empty
+  // (present == false) when tracing was off.
+  obs::AttributionLedger attribution;
 
   // Folds every field into the metrics registry as `<prefix>.<field>` gauges
   // so that engine-level numbers, trace-derived numbers and bench output all

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sdk/chunk_wire.h"
@@ -20,13 +21,19 @@ Result<uint64_t> serve_pages(sim::ThreadCtx& ctx,
     std::optional<Bytes> frame = end.recv_timeout(ctx, opts.idle_timeout_ns);
     if (!frame) break;  // quiet or severed link: the client is gone
     std::optional<sdk::PageFrameKind> kind = sdk::page_frame_kind(*frame);
-    if (!kind)
+    if (!kind) {
+      obs::flight(ctx, "migration.page_service", "bad_frame",
+                  "non-MGP4 frame");
       return Error(ErrorCode::kInvalidArgument,
                    "page service received a non-MGP4 frame");
+    }
     if (*kind == sdk::PageFrameKind::kDone) break;
-    if (*kind == sdk::PageFrameKind::kReply)
+    if (*kind == sdk::PageFrameKind::kReply) {
+      obs::flight(ctx, "migration.page_service", "bad_frame",
+                  "reply frame on the request path (protocol confusion)");
       return Error(ErrorCode::kInvalidArgument,
                    "page service received a reply frame (protocol confusion)");
+    }
 
     // A request wider than max_batch is split across several enclave posts so
     // one greedy client cannot monopolize the control mailbox; each slice
@@ -41,6 +48,8 @@ Result<uint64_t> serve_pages(sim::ThreadCtx& ctx,
       cmd.prefetch_pages = opts.prefetch_pages;
       sdk::ControlReply r = source_mailbox.post(ctx, std::move(cmd));
       MIG_RETURN_IF_ERROR(r.status);
+      obs::flight(ctx, "migration.page_service", "bad_frame",
+                  "enclave accepted a malformed frame");
       return Error(ErrorCode::kInternal, "enclave accepted a malformed frame");
     }
     const sdk::PageRequest& req = *parsed;
@@ -91,6 +100,10 @@ Result<PagePullStats> pull_pages(sim::ThreadCtx& ctx,
       abort_cmd.type = sdk::ControlCmd::Type::kAbortPostcopy;
       (void)target_mailbox.post(ctx, abort_cmd);  // always reports kAborted
       span.finish({{"outcome", "fail_closed"}});
+      obs::flight(ctx, "migration.page_service", "fail_closed",
+                  "phase=postcopy_pull source quiet, " +
+                      std::to_string(pending.size()) +
+                      " page(s) outstanding; target destroyed");
       return Error(ErrorCode::kDeadlineExceeded,
                    "post-copy source went quiet with " +
                        std::to_string(pending.size()) +

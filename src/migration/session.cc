@@ -1,6 +1,8 @@
 #include "migration/session.h"
 
 #include "migration/page_service.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sdk/chunk_wire.h"
@@ -556,6 +558,8 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
     if (m.key_delivered != nullptr) {
       m.key_delivered->wait(ctx);
       if (!m.delivery_status.ok()) {
+        obs::flight(ctx, "migration.session", "agent_delivery_failed",
+                    m.delivery_status.to_string());
         cleanup_failed_restore(ctx, m);
         return m.delivery_status;
       }
@@ -575,6 +579,7 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
     Status st = migrator_.restore(ctx, *m.host, *source_, m.source_instance,
                                   std::move(m.checkpoint), opts);
     if (!st.ok()) {
+      obs::flight(ctx, "migration.session", "restore_failed", st.to_string());
       cleanup_failed_restore(ctx, m);
       return st;
     }
@@ -586,6 +591,10 @@ Status VmMigrationSession::resume_process(sim::ThreadCtx& ctx,
 void VmMigrationSession::cleanup_failed_restore(sim::ThreadCtx& ctx,
                                                 ManagedEnclave& m) {
   sdk::EnclaveHost& host = *m.host;
+  obs::flight(ctx, "migration.session", "cleanup_failed_restore",
+              m.fate == ManagedEnclave::Fate::kCancelled
+                  ? "fate=cancelled (source re-attached)"
+                  : "fate=committed_or_lost (teardown)");
   if (m.fate == ManagedEnclave::Fate::kCancelled) {
     // The source cancelled before the key was served: its enclave is intact
     // (Kmigrate deleted, global flag cleared) — re-attach it so the parked
@@ -642,6 +651,8 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
       // Kmigrate deleted before it was served: the source enclave survives
       // and any checkpoint already shipped is ciphertext without a key.
       obs::instant(ctx, "fate.cancelled", "migration");
+      obs::flight(ctx, "migration.session", "fate_cancelled",
+                  "Kmigrate deleted before serve; source enclave survives");
       m.fate = ManagedEnclave::Fate::kCancelled;
       m.checkpoint.clear();
       // The delta session died with the cancel (kCancelMigration disarms
@@ -664,6 +675,8 @@ Status VmMigrationSession::cancel_process(sim::ThreadCtx& ctx,
       // Kmigrate already served: the source self-destroyed and the target
       // owns the enclave now (or will, if its restore is still running).
       obs::instant(ctx, "fate.committed", "migration");
+      obs::flight(ctx, "migration.session", "fate_committed",
+                  "Kmigrate already served; source self-destroyed");
       m.fate = ManagedEnclave::Fate::kCommitted;
       if (host.instance() == nullptr && !m.restore_started) {
         // No target instance bound and no restore in flight — nothing usable
@@ -719,6 +732,8 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
     // bound must not survive on a partial image.
     guest_->set_postcopy_abort([this](sim::ThreadCtx& c) {
       obs::instant(c, "postcopy.session_abort", "migration");
+      obs::flight(c, "migration.session", "fail_closed",
+                  "phase=postcopy_pull; tearing down managed enclaves");
       for (auto& [proc, enclaves] : managed_) {
         (void)proc;
         for (ManagedEnclave& m : enclaves) {
@@ -758,6 +773,13 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
     agent_.reset();
   }
   // The source-side error is the root cause; the target's abort is derived.
+  if (!report.ok()) {
+    obs::flight(ctx, "migration.session", "run_failed",
+                report.status().to_string());
+  } else if (!target_out.report.ok()) {
+    obs::flight(ctx, "migration.session", "run_failed",
+                "target: " + target_out.report.status().to_string());
+  }
   MIG_RETURN_IF_ERROR(report.status());
   MIG_RETURN_IF_ERROR(target_out.report.status());
   MIG_RETURN_IF_ERROR(agent_teardown);
@@ -774,6 +796,17 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
       }
     }
     report->publish_metrics("migration");
+  }
+  if (obs::tracing_enabled()) {
+    // Fold the capture into the per-phase ledger and attach it, so the
+    // trace-derived budget publishes alongside the engine's own numbers
+    // (attr.downtime_ns must reproduce migration.downtime_ns exactly).
+    Result<obs::AttributionLedger> ledger =
+        obs::attribute_migration(obs::trace());
+    if (ledger.ok()) {
+      report->attribution = std::move(*ledger);
+      report->attribution.publish();
+    }
   }
   return report;
 }

@@ -1,0 +1,76 @@
+// Downtime-budget attribution: fold a TraceRecorder capture into a
+// per-migration phase ledger.
+//
+// The paper's evaluation is a sequence of breakdowns — where does migration
+// time go between pre-copy rounds, the two-phase checkpoint, the final
+// stop-and-copy, restore and CSSA replay (Figs. 9(c), 10(b)-(d))? The engine
+// reports totals (`migration.total_ns`, `migration.downtime_ns`); this
+// analyzer re-derives those totals *from the trace* and attributes them to
+// phases, so the engine's own numbers and the trace-derived numbers can be
+// cross-checked against each other (they must agree exactly — both clocks
+// are the same deterministic virtual time).
+//
+// Two exact partitions plus one set of overlays:
+//  * `phases` partitions [migrate_source B, E] on the source sim thread into
+//    the engine's top-level spans (pre-copy rounds, prepare, stop-and-copy,
+//    post-copy tail, restore wait) plus `other` for the gaps; the entries
+//    sum to `total_ns` by construction.
+//  * `downtime_phases` partitions the downtime window — from the
+//    `stop_and_copy` begin (the engine's stop_time) to the `vm.resumed`
+//    instant (the kResumeAck payload) — into device-save, final wire copy
+//    and device-restore using the `stop.device_saved` / `stop.final_received`
+//    instants; the entries sum to `downtime_ns` by construction.
+//  * `span_totals` aggregates cross-thread contributors that overlap the
+//    partitions (checkpoint, residual delta dumps, counter round-trips,
+//    enclave restore, CSSA replay, post-copy pulls) — the Fig. 10(b)-(d)
+//    series.
+//
+// Deterministic: pure fold over the recorded events, fixed phase order,
+// fixed JSON shape. Identical seeds produce byte-identical ledgers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mig::obs {
+
+struct AttributionPhase {
+  std::string name;
+  uint64_t ns = 0;
+};
+
+struct AttributionLedger {
+  bool present = false;  // set by attribute_migration()
+  uint64_t total_ns = 0;
+  uint64_t downtime_ns = 0;
+  // Exact partition of the source half; sums to total_ns.
+  std::vector<AttributionPhase> phases;
+  // Exact partition of the downtime window; sums to downtime_ns.
+  std::vector<AttributionPhase> downtime_phases;
+  // Cross-thread contributors (overlap the partitions; informational).
+  std::vector<AttributionPhase> span_totals;
+
+  uint64_t phase_ns(std::string_view name) const;
+  uint64_t downtime_phase_ns(std::string_view name) const;
+  uint64_t span_total_ns(std::string_view name) const;
+
+  // Publishes `attr.total_ns`, `attr.downtime_ns`, `attr.phase.<name>_ns`,
+  // `attr.downtime.<name>_ns` and `attr.span.<name>_ns` gauges (all names
+  // come from the fixed tables in attribution.cc and are registered in
+  // docs/trace-schema.md). No-op while metrics are disabled.
+  void publish() const;
+
+  // Deterministic single-line JSON of the whole ledger (test diffing).
+  std::string json() const;
+};
+
+// Analyzes the LAST complete migration (a balanced `migrate_source` span) in
+// the capture. Fails with kFailedPrecondition if the trace holds none.
+Result<AttributionLedger> attribute_migration(const TraceRecorder& trace);
+
+}  // namespace mig::obs

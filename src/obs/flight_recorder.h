@@ -1,0 +1,85 @@
+// Always-on failure forensics: a bounded ring of structured events.
+//
+// Traces and metrics answer "where did the time go?" but only when somebody
+// turned them on before the flight. The flight recorder answers the other
+// question — "why did this migration die?" — after the fact, the way a real
+// migration stack's black box does: every `Result` error path and every
+// fail-closed transition in the control thread, the engine, the session, the
+// page service and the counter service drops one structured record into a
+// fixed-capacity ring that is always recording.
+//
+// Design constraints:
+//  * Always on, near-zero cost: there is no enable flag to check because the
+//    hooks sit exclusively on error/abort paths — a clean migration records
+//    nothing. No allocation beyond the strings of the records themselves,
+//    no locking (the sim executor runs one thread at a time).
+//  * Bounded: a fixed ring of kCapacity records; older records are
+//    overwritten and counted as dropped, so a retry loop cannot grow memory.
+//  * Deterministic: records carry the virtual clock and sim thread id, and
+//    dump() emits them oldest-first with a fixed JSON shape — identical
+//    seeds produce byte-identical dumps, so failure-matrix tests can assert
+//    on *why* a migration died, not just that it did.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mig::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 128;
+
+  struct Record {
+    uint64_t seq = 0;    // monotonically increasing since the last clear()
+    uint64_t ts_ns = 0;  // virtual clock of the recording sim thread
+    uint32_t tid = 0;
+    std::string where;   // subsystem site, e.g. "hv.source", "sdk.control"
+    std::string what;    // event, e.g. "abort", "fail_closed", "cmd_failed"
+    std::string detail;  // free-form cause (status message, phase, counts)
+  };
+
+  static FlightRecorder& global();
+
+  void record(uint64_t ts_ns, uint32_t tid, std::string where,
+              std::string what, std::string detail = {});
+
+  void clear();
+
+  // Records still in the ring, oldest first.
+  std::vector<Record> snapshot() const;
+  size_t size() const { return count_ < kCapacity ? count_ : kCapacity; }
+  // Every record() since the last clear(), including overwritten ones.
+  uint64_t total_recorded() const { return count_; }
+  uint64_t dropped() const {
+    return count_ > kCapacity ? count_ - kCapacity : 0;
+  }
+
+  // Deterministic JSON dump (oldest record first):
+  //   {"dropped":N,"records":[{"seq":..,"ts_ns":..,"tid":..,
+  //    "where":"..","what":"..","detail":".."},...]}
+  std::string dump() const;
+
+  // True if any retained record's where/what/detail contains `needle`.
+  bool contains(std::string_view needle) const;
+
+ private:
+  std::array<Record, kCapacity> ring_;
+  uint64_t count_ = 0;  // total records ever; ring slot = seq % kCapacity
+};
+
+inline FlightRecorder& flightrec() { return FlightRecorder::global(); }
+
+// Convenience hook for instrumented code holding a sim thread context
+// (anything with now()/id(), same duck-typing as Span).
+template <typename Ctx>
+inline void flight(Ctx& ctx, std::string where, std::string what,
+                   std::string detail = {}) {
+  FlightRecorder::global().record(ctx.now(), ctx.id(), std::move(where),
+                                  std::move(what), std::move(detail));
+}
+
+}  // namespace mig::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mig::obs {
@@ -217,6 +218,9 @@ ScopedObservation::ScopedObservation()
     : prev_trace_(internal::g_trace_on), prev_metrics_(internal::g_metrics_on) {
   TraceRecorder::global().clear();
   MetricsRegistry::global().clear();
+  // The flight recorder is always on; clearing it here scopes failure
+  // forensics to this capture the same way traces and metrics are scoped.
+  FlightRecorder::global().clear();
   internal::g_trace_on = true;
   internal::g_metrics_on = true;
 }

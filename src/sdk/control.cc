@@ -9,6 +9,7 @@
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sdk/builder.h"
@@ -1073,6 +1074,8 @@ class ControlEngine {
     env_->write_u64(kOffSelfDestroyed, 1);
     obs::instant(env_->ctx(), "postcopy.fail_closed", "sdk");
     obs::metrics().add("postcopy.aborts");
+    obs::flight(env_->ctx(), "sdk.control", "fail_closed",
+                "phase=postcopy_pull; target enclave self-destroyed");
     return fail(ErrorCode::kAborted,
                 "post-copy source outage; target self-destroyed (fail closed)");
   }
@@ -1635,6 +1638,8 @@ class ControlEngine {
     env_->write_u64(kOffSelfDestroyed, 1);
     obs::instant(env_->ctx(), "store.fenced", "sdk");
     obs::metrics().add("store.fences");
+    obs::flight(env_->ctx(), "sdk.control", "fail_closed",
+                "stale counter epoch fence; enclave self-destroyed");
     return fail(ErrorCode::kAborted,
                 "counter advanced past this instance's epoch; self-destroyed");
   }
@@ -1885,6 +1890,13 @@ void control_thread_main(EnclaveEnv& env, ControlMailbox& mailbox,
     obs::Span<sim::ThreadCtx> span(env.ctx(), cmd_name(cmd.type), "sdk");
     ControlReply reply = engine.handle(cmd);
     obs::metrics().add("sdk.control_cmds");
+    if (!reply.status.ok()) {
+      // Central failure forensics: every command the engine refuses lands in
+      // the flight recorder with its command name and root-cause status, so
+      // an aborted migration can name the control-path step that killed it.
+      obs::flight(env.ctx(), "sdk.control", cmd_name(cmd.type),
+                  reply.status.to_string());
+    }
     span.finish({{"ok", reply.status.ok()}});
     mailbox.reply(env.ctx(), std::move(reply));
   }

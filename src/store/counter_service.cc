@@ -3,6 +3,7 @@
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/serde.h"
@@ -39,6 +40,8 @@ void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
     // Outage model: the request is lost, no reply ever comes. The enclave's
     // channel timeout makes the store operation fail closed.
     obs::instant(ctx, "store.counter.dropped", "store");
+    obs::flight(ctx, "store.counter", "dropped",
+                "service unavailable; request swallowed");
     return;
   }
   obs::Span<sim::ThreadCtx> span(ctx, "store.counter.serve", "store");
@@ -51,6 +54,7 @@ void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
   auto refuse = [&](std::string why) {
     obs::instant(ctx, "store.counter.refused", "store", {{"why", why}});
     obs::metrics().add("store.counter.refusals");
+    obs::flight(ctx, "store.counter", "refused", why);
     Writer w;
     w.str("REFUSED:" + why);
     w.u64(0);

@@ -102,7 +102,13 @@ TEST(ObsMetrics, BucketIndexIsLogTwo) {
   EXPECT_EQ(R::bucket_index(2), 2u);
   EXPECT_EQ(R::bucket_index(3), 2u);
   EXPECT_EQ(R::bucket_index(4), 3u);
+  // The top bucket boundary: 2^63-1 is the last value in bucket 63; 2^63 and
+  // everything above land in the final bucket, so no observation can index
+  // out of the array.
+  EXPECT_EQ(R::bucket_index((1ull << 63) - 1), 63u);
+  EXPECT_EQ(R::bucket_index(1ull << 63), 64u);
   EXPECT_EQ(R::bucket_index(0xFFFF'FFFF'FFFF'FFFFull), R::kBuckets - 1);
+  static_assert(R::kBuckets == 65, "one bucket per bit_width value 0..64");
 }
 
 TEST(ObsMetrics, JsonDumpParsesAndMatchesQueries) {
@@ -123,6 +129,48 @@ TEST(ObsMetrics, JsonDumpParsesAndMatchesQueries) {
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->get("count")->as_u64(), 1u);
   EXPECT_EQ(h->get("sum")->as_u64(), 700u);
+}
+
+TEST(ObsMetrics, JsonDumpSortsKeysEscapesNamesAndElidesEmptyBuckets) {
+  obs::ScopedObservation capture;
+  // Registered out of order; the dump must emit each section sorted by key
+  // so identical runs (and the bench regression gate reading them) see
+  // byte-identical files regardless of registration order.
+  obs::metrics().add("z.last", 3);
+  obs::metrics().add("a\"odd\nname\\", 0xFFFF'FFFF'FFFF'FFFFull);
+  obs::metrics().add("m.mid", 2);
+  obs::metrics().set_gauge("g.two", 2);
+  obs::metrics().set_gauge("g.one", 1);
+  obs::metrics().observe("h", 5);     // bucket 3
+  obs::metrics().observe("h", 5);     // bucket 3 again
+  obs::metrics().observe("h", 1024);  // bucket 11
+
+  std::string text = obs::metrics().json();
+  EXPECT_LT(text.find("a\\\"odd\\nname\\\\"), text.find("m.mid"));
+  EXPECT_LT(text.find("m.mid"), text.find("z.last"));
+  EXPECT_LT(text.find("g.one"), text.find("g.two"));
+
+  auto j = obs::Json::parse(text);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  // The odd name round-trips through the escaping, and the UINT64_MAX value
+  // survives as an exact integer.
+  const obs::Json* odd = j->get("counters")->get("a\"odd\nname\\");
+  ASSERT_NE(odd, nullptr);
+  EXPECT_EQ(odd->as_u64(), 0xFFFF'FFFF'FFFF'FFFFull);
+  // Only the two populated buckets appear; all 63 empty ones are elided.
+  const obs::Json* h = j->get("histograms")->get("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->get("count")->as_u64(), 3u);
+  EXPECT_EQ(h->get("sum")->as_u64(), 1034u);
+  EXPECT_EQ(h->get("min")->as_u64(), 5u);
+  EXPECT_EQ(h->get("max")->as_u64(), 1024u);
+  const obs::Json* buckets = h->get("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->fields().size(), 2u);
+  ASSERT_NE(buckets->get("3"), nullptr);
+  EXPECT_EQ(buckets->get("3")->as_u64(), 2u);
+  ASSERT_NE(buckets->get("11"), nullptr);
+  EXPECT_EQ(buckets->get("11")->as_u64(), 1u);
 }
 
 // ---------------------------------------------------------------------------

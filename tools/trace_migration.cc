@@ -1,20 +1,36 @@
-// Runs one deterministic, fully instrumented VM migration (two enclaves,
-// live workload, Fig. 8 pipeline) and writes the Chrome trace and the
-// metrics dump to disk:
+// Runs one deterministic, fully instrumented migration scenario and writes
+// the Chrome trace and the metrics dump to disk:
 //
-//   mig_trace_migration [trace.json [metrics.json]]
+//   mig_trace_migration [--scenario precopy|postcopy|store]
+//                       [trace.json [metrics.json]]
 //
-// Open trace.json at ui.perfetto.dev (or chrome://tracing) to see the whole
-// migration as a per-sim-thread timeline: pre-copy rounds, the two-phase
-// checkpoints, the key handshake, restore and CSSA replay. The simulation is
-// seeded, so repeated runs emit byte-identical files — the `obs_trace_emit` /
-// `obs_trace_schema` ctest pair relies on that.
+// Scenarios:
+//   precopy  (default) — a live pre-copy VM migration of two enclaves with a
+//            running workload (Fig. 8 pipeline): pre-copy rounds, two-phase
+//            checkpoints, key handshake, restore, CSSA replay.
+//   postcopy — a pure post-copy VM migration (stop-and-flip + demand pull):
+//            exercises the `postcopy.*` span/instant/counter names.
+//   store    — a cold migration through the sealed snapshot store
+//            (snapshot_to_store, planned shutdown, restore_from_store):
+//            exercises the `store.*` names and the counter service.
+//
+// Open trace.json at ui.perfetto.dev (or chrome://tracing) to see the run as
+// a per-sim-thread timeline. Every scenario is seeded, so repeated runs emit
+// byte-identical files — the `obs_trace_emit*` / `obs_trace_schema*` ctest
+// pairs rely on that, and the schema checker enforces that every name these
+// scenarios emit is registered in docs/trace-schema.md.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "migration/session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/counter_service.h"
+#include "store/snapshot_store.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -43,14 +59,9 @@ bool write_file(const char* path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
-}  // namespace
+// ---- precopy: the original instrumented live migration ---------------------
 
-int main(int argc, char** argv) {
-  const char* trace_path = argc > 1 ? argv[1] : "migration_trace.json";
-  const char* metrics_path = argc > 2 ? argv[2] : "migration_metrics.json";
-
-  obs::ScopedObservation capture;
-
+int run_precopy() {
   hv::World world(4);
   hv::Machine& source = world.add_machine("source");
   hv::Machine& target = world.add_machine("target");
@@ -108,19 +119,195 @@ int main(int argc, char** argv) {
   });
   MIG_CHECK(world.executor().run());
   MIG_CHECK_MSG(report.ok(), report.status().to_string());
+  std::printf(
+      "precopy migration ok: downtime %llu ns, %llu bytes, %llu rounds\n",
+      static_cast<unsigned long long>(report->downtime_ns),
+      static_cast<unsigned long long>(report->transferred_bytes),
+      static_cast<unsigned long long>(report->rounds));
+  return 0;
+}
+
+// ---- postcopy: stop-and-flip + demand pull ---------------------------------
+
+int run_postcopy() {
+  hv::World world(4);
+  hv::Machine& source = world.add_machine("source");
+  hv::Machine& target = world.add_machine("target");
+  hv::Vm vm(hv::VmConfig{}, hv::DirtyModel{1'600, 40'000});
+  guestos::GuestOs guest(source, vm);
+  crypto::Drbg rng(to_bytes("trace-postcopy"));
+  crypto::Drbg srng(to_bytes("dev"));
+  crypto::SigKeyPair dev_signer = crypto::sig_keygen(srng);
+  migration::EnclaveOwner owner(world.ias(), crypto::Drbg(to_bytes("owner")));
+  store::CounterService counters(world.ias(), crypto::Drbg(to_bytes("ctr")));
+
+  guestos::Process& proc = guest.create_process("app");
+  sdk::BuildInput in;
+  in.program = make_counter_program();
+  in.layout.num_workers = 2;
+  in.layout.heap_pages = 4;
+  in.counter_service_pk = counters.public_key();
+  sdk::BuildOutput built =
+      sdk::build_enclave_image(in, dev_signer, world.ias().service_pk(), rng);
+  owner.enroll(built.image.measure(), built.owner);
+  auto host = std::make_unique<sdk::EnclaveHost>(
+      guest, proc, std::move(built), world.ias(), rng.fork(to_bytes("host")));
+
+  Result<hv::MigrationReport> report = Error(ErrorCode::kInternal, "unset");
+  world.executor().spawn("driver", [&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host->create(ctx).ok());
+    {
+      auto ch = world.make_channel();
+      world.executor().spawn("owner", [&, c = ch.get()](sim::ThreadCtx& t) {
+        owner.serve_one(t, c->b());
+      });
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kProvision;
+      cmd.channel = ch->a();
+      MIG_CHECK(host->mailbox().post(ctx, cmd).status.ok());
+    }
+    proc.spawn_thread("pump", [&](sim::ThreadCtx& wctx) {
+      for (int i = 0; i < 2000; ++i) {
+        Writer w;
+        w.u64(1);
+        if (!host->ecall(wctx, 0, kEcallAdd, w.data()).ok()) break;
+        wctx.sleep(1'000'000);
+      }
+    });
+
+    migration::VmMigrationSession::Options opts;
+    opts.post_copy = true;
+    migration::VmMigrationSession session(world, vm, guest, source, target,
+                                          opts);
+    session.manage(*host);
+    ctx.sleep(10'000'000);
+    report = session.run(ctx);
+  });
+  MIG_CHECK(world.executor().run());
+  MIG_CHECK_MSG(report.ok(), report.status().to_string());
+  MIG_CHECK_MSG(report->postcopy_flipped == 1, "post-copy did not flip");
+  std::printf(
+      "postcopy migration ok: downtime %llu ns, %llu tail pages in %llu "
+      "batches\n",
+      static_cast<unsigned long long>(report->downtime_ns),
+      static_cast<unsigned long long>(report->postcopy_pages),
+      static_cast<unsigned long long>(report->postcopy_batches));
+  return 0;
+}
+
+// ---- store: cold migration through the sealed snapshot store ---------------
+
+int run_store() {
+  hv::World world(4);
+  hv::Machine& source = world.add_machine("src");
+  hv::Machine& target = world.add_machine("dst");
+  hv::Vm vm(hv::VmConfig{}, hv::DirtyModel{});
+  guestos::GuestOs guest(source, vm);
+  crypto::Drbg rng(to_bytes("trace-store"));
+  crypto::Drbg srng(to_bytes("dev"));
+  crypto::SigKeyPair dev_signer = crypto::sig_keygen(srng);
+  migration::EnclaveOwner owner(world.ias(), crypto::Drbg(to_bytes("owner")));
+  store::CounterService counters(world.ias(), crypto::Drbg(to_bytes("ctr")));
+  store::SealedSnapshotStore snapshots;
+  migration::EnclaveMigrator migrator(world);
+
+  guestos::Process& proc = guest.create_process("app");
+  sdk::BuildInput in;
+  in.program = make_counter_program();
+  in.layout.num_workers = 2;
+  in.counter_service_pk = counters.public_key();
+  sdk::BuildOutput built =
+      sdk::build_enclave_image(in, dev_signer, world.ias().service_pk(), rng);
+  owner.enroll(built.image.measure(), built.owner);
+  auto host = std::make_unique<sdk::EnclaveHost>(
+      guest, proc, std::move(built), world.ias(), rng.fork(to_bytes("host")));
+
+  migration::EnclaveMigrateOptions opts;
+  opts.counter_service = &counters;
+
+  bool ok = false;
+  world.executor().spawn("driver", [&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host->create(ctx).ok());
+    {
+      auto ch = world.make_channel();
+      world.executor().spawn("owner", [&, c = ch.get()](sim::ThreadCtx& t) {
+        owner.serve_one(t, c->b());
+      });
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kProvision;
+      cmd.channel = ch->a();
+      MIG_CHECK(host->mailbox().post(ctx, cmd).status.ok());
+    }
+    Writer w;
+    w.u64(42);
+    MIG_CHECK(host->ecall(ctx, 0, kEcallAdd, w.data()).ok());
+
+    auto id = migrator.snapshot_to_store(ctx, *host, snapshots, opts);
+    MIG_CHECK_MSG(id.ok(), id.status().to_string());
+
+    // Planned shutdown on the source, cold restore on the target machine:
+    // the sealed snapshot is the only thing that travels.
+    MIG_CHECK(host->destroy(ctx).ok());
+    guest.set_migration_target(target);
+    MIG_CHECK(guest.resume_enclaves_after_migration(ctx).ok());
+    Status st = migrator.restore_from_store(ctx, *host, snapshots, *id, opts);
+    MIG_CHECK_MSG(st.ok(), st.to_string());
+
+    // The restored enclave is live again and seals a fresh snapshot at its
+    // advanced epoch — the rollback-defense half of the store round trip.
+    Writer w2;
+    w2.u64(1);
+    MIG_CHECK(host->ecall(ctx, 0, kEcallAdd, w2.data()).ok());
+    auto id2 = migrator.snapshot_to_store(ctx, *host, snapshots, opts);
+    MIG_CHECK_MSG(id2.ok(), id2.status().to_string());
+    ok = true;
+  });
+  MIG_CHECK(world.executor().run());
+  MIG_CHECK(ok);
+  std::printf("store cold migration ok: %llu object(s) in the store\n",
+              static_cast<unsigned long long>(snapshots.object_count()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* scenario = "precopy";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const char* trace_path =
+      positional.size() > 0 ? positional[0] : "migration_trace.json";
+  const char* metrics_path =
+      positional.size() > 1 ? positional[1] : "migration_metrics.json";
+
+  obs::ScopedObservation capture;
+
+  int rc;
+  if (std::strcmp(scenario, "precopy") == 0) {
+    rc = run_precopy();
+  } else if (std::strcmp(scenario, "postcopy") == 0) {
+    rc = run_postcopy();
+  } else if (std::strcmp(scenario, "store") == 0) {
+    rc = run_store();
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s' (precopy|postcopy|store)\n",
+                 scenario);
+    return 2;
+  }
+  if (rc != 0) return rc;
 
   if (!write_file(trace_path, obs::trace().chrome_json()) ||
       !write_file(metrics_path, obs::metrics().json())) {
     std::fprintf(stderr, "failed to write output files\n");
     return 1;
   }
-  std::printf(
-      "migration ok: downtime %llu ns, %llu bytes, %llu rounds\n"
-      "trace:   %s (load in ui.perfetto.dev)\n"
-      "metrics: %s\n",
-      static_cast<unsigned long long>(report->downtime_ns),
-      static_cast<unsigned long long>(report->transferred_bytes),
-      static_cast<unsigned long long>(report->rounds), trace_path,
-      metrics_path);
+  std::printf("trace:   %s (load in ui.perfetto.dev)\nmetrics: %s\n",
+              trace_path, metrics_path);
   return 0;
 }

@@ -1,0 +1,174 @@
+// Fleet evacuation ablation: drain one host of N enclave-carrying VMs at
+// several admission-control settings and chart the trade the orchestrator is
+// built around. Serial evacuation (concurrency 1) pays every VM's
+// attestation round trips, seal/restore compute and control-plane latency
+// back to back; concurrent evacuation overlaps all of that — only the shared
+// uplink still serializes — so total evacuation time drops steeply while the
+// serialized stop windows keep per-VM downtime pinned near the
+// single-session floor. The sweet spot the table shows: a concurrency where
+// total time is at least halved against serial while p99 downtime stays
+// within 2x of the serial floor.
+#include "bench_common.h"
+
+#include "fleet/fleet.h"
+
+namespace {
+
+using namespace mig;
+
+constexpr uint64_t kEcallPoke = 1;
+
+std::shared_ptr<sdk::EnclaveProgram> make_prog() {
+  auto prog = std::make_shared<sdk::EnclaveProgram>("fleet-guest");
+  prog->add_ecall(kEcallPoke, "poke",
+                  [](sdk::EnclaveEnv& env, sdk::Frame&) {
+                    env.work(10'000);
+                    return OkStatus();
+                  });
+  return prog;
+}
+
+struct RunResult {
+  fleet::EvacuationReport report;
+};
+
+// One full host drain: `fleet_size` small VMs (one two-worker enclave each)
+// at the given admission cap, all other policies at their defaults.
+RunResult run_evacuation(size_t fleet_size, uint64_t max_concurrent) {
+  hv::World world(8);  // an evacuating host has cores to spare
+  hv::Machine& src = world.add_machine("src");
+  hv::Machine& dst = world.add_machine("dst");
+  crypto::Drbg rng(to_bytes("fleet-bench"));
+  crypto::Drbg srng(to_bytes("dev"));
+  crypto::SigKeyPair signer = crypto::sig_keygen(srng);
+  migration::EnclaveOwner owner{world.ias(), crypto::Drbg(to_bytes("own"))};
+  store::CounterService counters{world.ias(), crypto::Drbg(to_bytes("ctr"))};
+
+  std::vector<std::unique_ptr<hv::Vm>> vms;
+  std::vector<std::unique_ptr<guestos::GuestOs>> guests;
+  std::vector<std::unique_ptr<sdk::EnclaveHost>> hosts;
+  for (size_t i = 0; i < fleet_size; ++i) {
+    hv::VmConfig c;
+    c.name = "vm" + std::to_string(i);
+    c.vcpus = 2;
+    c.memory_mb = 2;  // container-sized guests: the host NIC is shared
+    c.used_fraction = 0.5;
+    hv::DirtyModel dm;
+    dm.pages_per_sec = 180;
+    dm.working_set_pages = 120;
+    vms.push_back(std::make_unique<hv::Vm>(c, dm));
+    guests.push_back(std::make_unique<guestos::GuestOs>(src, *vms.back()));
+    guestos::Process& proc = guests.back()->create_process("app");
+    sdk::BuildInput in;
+    in.program = make_prog();
+    in.layout.num_workers = 2;
+    in.layout.data_pages = 1;
+    // Distinct heap size per VM -> distinct MRENCLAVE -> distinct rollback
+    // counter identity. Tenants sharing one measurement would also share a
+    // counter, and one tenant's post-migration advance would invalidate the
+    // others' sealed checkpoints mid-flight.
+    in.layout.heap_pages = 1 + i;
+    in.counter_service_pk = counters.public_key();
+    sdk::BuildOutput built =
+        sdk::build_enclave_image(in, signer, world.ias().service_pk(), rng);
+    owner.enroll(built.image.measure(), built.owner);
+    hosts.push_back(std::make_unique<sdk::EnclaveHost>(
+        *guests.back(), proc, std::move(built), world.ias(),
+        rng.fork(to_bytes(c.name))));
+  }
+
+  fleet::EvacuationPlan plan;
+  plan.max_concurrent = max_concurrent;
+  plan.counter_service = &counters;  // rollback defense: 2 WAN trips per VM
+  fleet::FleetScheduler sched(world, plan);
+  for (size_t i = 0; i < fleet_size; ++i) {
+    fleet::VmPlan vp;
+    vp.name = vms[i]->config().name;
+    sched.add_vm(vp, *vms[i], *guests[i], src, dst, {hosts[i].get()});
+  }
+
+  RunResult out;
+  world.executor().spawn("bench", [&](sim::ThreadCtx& ctx) {
+    for (auto& h : hosts) {
+      MIG_CHECK(h->create(ctx).ok());
+      auto channel = world.make_channel();
+      world.executor().spawn("owner",
+                             [&owner, ch = channel.get()](sim::ThreadCtx& c) {
+                               owner.serve_one(c, ch->b());
+                             });
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kProvision;
+      cmd.channel = channel->a();
+      sdk::ControlReply r = h->mailbox().post(ctx, cmd);
+      MIG_CHECK_MSG(r.status.ok(), r.status.to_string());
+    }
+    auto report = sched.run(ctx);
+    MIG_CHECK_MSG(report.ok(), report.status().to_string());
+    out.report = std::move(*report);
+  });
+  MIG_CHECK_MSG(world.executor().run(),
+                "simulation hung:\n" << world.executor().dump_state());
+  MIG_CHECK(out.report.migrated == fleet_size);
+  MIG_CHECK(out.report.quarantined == 0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mig;
+  bench::print_header(
+      "Ablation: host evacuation concurrency",
+      "total drain time and downtime distribution vs. admission cap");
+
+  constexpr size_t kFleet = 8;
+  std::printf("%12s %12s %14s %14s %14s %10s\n", "concurrent", "total(ms)",
+              "p50 down(ms)", "p99 down(ms)", "max down(ms)", "speedup");
+
+  uint64_t serial_total_ns = 0;
+  uint64_t serial_floor_ns = 0;  // single-session p99 downtime
+  bool sweet_spot = false;
+  for (uint64_t concurrent : {1ull, 2ull, 4ull, 8ull}) {
+    RunResult r = run_evacuation(kFleet, concurrent);
+    const fleet::EvacuationReport& rep = r.report;
+    if (concurrent == 1) {
+      serial_total_ns = rep.total_ns;
+      serial_floor_ns = rep.downtime_p99_ns;
+    } else if (rep.total_ns * 2 <= serial_total_ns &&
+               rep.downtime_p99_ns <= 2 * serial_floor_ns) {
+      sweet_spot = true;
+    }
+    double speedup =
+        static_cast<double>(serial_total_ns) / static_cast<double>(rep.total_ns);
+    std::printf("%12llu %12.2f %14.2f %14.2f %14.2f %9.2fx\n",
+                static_cast<unsigned long long>(concurrent),
+                bench::ms(rep.total_ns), bench::ms(rep.downtime_p50_ns),
+                bench::ms(rep.downtime_p99_ns), bench::ms(rep.downtime_max_ns),
+                speedup);
+    bench::JsonLine("ablate_fleet")
+        .num("fleet_size", kFleet)
+        .num("max_concurrent", concurrent)
+        .num("migrated", rep.migrated)
+        .num("quarantined", rep.quarantined)
+        .num("retries", rep.retries)
+        .num("peak_concurrent", rep.peak_concurrent)
+        .num("total_ns", rep.total_ns)
+        .num("downtime_p50_ns", rep.downtime_p50_ns)
+        .num("downtime_p99_ns", rep.downtime_p99_ns)
+        .num("downtime_max_ns", rep.downtime_max_ns)
+        .emit();
+  }
+  // The point of the ablation, enforced: some concurrency level beats serial
+  // by >= 2x on total drain time while keeping p99 downtime within 2x of the
+  // single-session floor. If a scheduler or arbiter change loses this, the
+  // bench itself fails rather than quietly charting a regression.
+  MIG_CHECK_MSG(sweet_spot,
+                "no concurrency sweet spot: expected some N > 1 with total <= "
+                "serial/2 and p99 downtime <= 2x serial floor");
+  std::printf(
+      "\nConcurrent sessions overlap attestation round trips, seal/restore\n"
+      "compute and control latency; the shared NIC still serializes bytes and\n"
+      "the stop-window token serializes blackouts, so total time collapses\n"
+      "while p99 downtime holds near the single-session floor.\n\n");
+  return 0;
+}

@@ -70,6 +70,17 @@ class Process {
     delta_begin_ = std::move(begin);
     delta_round_ = std::move(round);
   }
+  // Drops every registered handler. The registrar must call this when it is
+  // torn down (handlers capture it): a retried migration re-registers on its
+  // next attempt, and a process whose registrar died must read as having no
+  // migratable enclaves rather than invoke a dangling callback.
+  void clear_migration_handlers() {
+    prepare_ = nullptr;
+    resume_ = nullptr;
+    cancel_ = nullptr;
+    delta_begin_ = nullptr;
+    delta_round_ = nullptr;
+  }
   bool has_delta_handlers() const { return static_cast<bool>(delta_begin_); }
   size_t enclave_count = 0;  // maintained by the SGX library
 

@@ -242,9 +242,20 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   // Pure post-copy skips the rounds entirely; hybrid runs them with a
   // convergence detector that flips the residue to post-copy the moment
   // another round would be wasted wire.
+  // Fleet pause gate: may block (in virtual time) while an external
+  // scheduler holds this migration; the VM keeps running and dirtying pages
+  // meanwhile, which the per-round dirty recomputation already accounts for.
+  auto pause_gate = [&](uint64_t held_from) {
+    if (!params_.before_round) return;
+    params_.before_round(ctx);
+    uint64_t held_ns = ctx.now() - held_from;
+    if (held_ns > 0) dirty += vm.pages_dirtied_over(held_ns);
+  };
+
   bool flip = params_.post_copy;
   if (!params_.post_copy) {
     for (uint64_t round = 0; round < params_.max_rounds; ++round) {
+      pause_gate(ctx.now());
       if (dirty <= params_.stop_copy_threshold_pages) break;
       uint64_t before = dirty;
       uint64_t round_start = ctx.now();
@@ -329,6 +340,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
       checkpoint_bytes = 0;
       for (uint64_t extra_rounds = 0; extra_rounds < params_.max_rounds;
            ++extra_rounds) {
+        pause_gate(ctx.now());
         // The checkpoints must reach the target while the VM still runs (they
         // live in ordinary guest memory); never stop with them unsent.
         if (dirty <= params_.stop_copy_threshold_pages && pending_extra == 0 &&
@@ -379,6 +391,15 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   }
 
   // --- stop-and-copy (classic) or stop-and-flip (post-copy/hybrid) ---
+  // Fleet hook: a scheduler may serialize stop windows across concurrent
+  // migrations (stop_begin can block until the shared link's downtime slot
+  // is free). The VM is still running here, so waiting costs no downtime.
+  if (params_.stop_begin) {
+    uint64_t held_from = ctx.now();
+    params_.stop_begin(ctx);
+    uint64_t held_ns = ctx.now() - held_from;
+    if (held_ns > 0) dirty += vm.pages_dirtied_over(held_ns);
+  }
   uint64_t stop_time = ctx.now();
   obs::Span<sim::ThreadCtx> stop_span(
       ctx, "stop_and_copy", "hv",
@@ -423,6 +444,7 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
     // mailbox, and whichever wins decides the survivor.
     stop_span.finish({{"outcome", "abort"}});
     abort_source(ctx, vm, link, /*vm_stopped=*/true);
+    if (params_.stop_end) params_.stop_end(ctx);
     if (!p.ok()) return p.status();
     if (p->tag == Tag::kAbort)
       return Error(ErrorCode::kAborted, "target aborted the migration");
@@ -431,6 +453,9 @@ Result<MigrationReport> LiveMigrationEngine::migrate_source(
   if (p->tag == Tag::kResumeAck) report.downtime_ns = p->a - stop_time;
   obs::instant(ctx, "resume_ack", "hv", {{"downtime_ns", report.downtime_ns}});
   stop_span.finish({{"downtime_ns", report.downtime_ns}});
+  // The downtime window has resolved (the VM runs on the target even if a
+  // post-copy tail remains); release the fleet's stop slot.
+  if (params_.stop_end) params_.stop_end(ctx);
   // else: the resume ack itself was lost, but a kRestoreDone arriving in its
   // place proves the target resumed and finished restoring — the migration
   // committed; do not roll back a VM that is live elsewhere. (Downtime is

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "hv/vm.h"
 #include "obs/attribution.h"
@@ -67,6 +68,23 @@ struct MigrationParams {
   uint64_t postcopy_min_rounds = 2;
   // Target demand-pull batch size (pages per kPageRequest).
   uint64_t postcopy_batch_pages = 512;
+
+  // ---- fleet scheduling hooks (src/fleet/) ----
+  // All optional; unset means the classic single-migration behavior. They
+  // let an external scheduler pace several concurrent migrations without the
+  // engine knowing about the fleet layer.
+  //
+  // Called at the top of every pre-copy round on the source thread. May
+  // block (in virtual time) to pause the migration — e.g. while a
+  // deadline-critical VM needs the link — and return when it may proceed.
+  std::function<void(sim::ThreadCtx&)> before_round;
+  // Bracket the downtime window: stop_begin fires just before the source
+  // stops the VM; stop_end fires once the window resolves (resume ack,
+  // post-copy flip completion, or abort). A scheduler can serialize stop
+  // windows across a fleet so concurrent migrations don't stack their
+  // downtimes on the shared link.
+  std::function<void(sim::ThreadCtx&)> stop_begin;
+  std::function<void(sim::ThreadCtx&)> stop_end;
 };
 
 struct MigrationReport {

@@ -407,7 +407,8 @@ VmMigrationSession::VmMigrationSession(hv::World& world, hv::Vm& vm,
       source_(&source),
       target_(&target),
       opts_(std::move(opts)),
-      migrator_(world) {
+      migrator_(world),
+      pause_event_(world.executor()) {
   // The enclave-side post-copy manifest is carved out of the final delta
   // dump, so both post-copy modes ride the incremental machinery; mirror the
   // mode into the engine's params so the VM side flips too.
@@ -416,6 +417,10 @@ VmMigrationSession::VmMigrationSession(hv::World& world, hv::Vm& vm,
     opts_.precopy.post_copy = opts_.post_copy;
     opts_.precopy.hybrid = opts_.hybrid;
   }
+}
+
+VmMigrationSession::~VmMigrationSession() {
+  for (auto& [proc, enclaves] : managed_) proc->clear_migration_handlers();
 }
 
 void VmMigrationSession::manage(sdk::EnclaveHost& host) {
@@ -746,7 +751,45 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
     });
   }
   auto channel = world_->make_channel();
-  hv::LiveMigrationEngine engine(world_->cost(), opts_.precopy);
+  if (opts_.channel_hook) opts_.channel_hook(*channel);
+  int uplink_flow = -1;
+  if (opts_.uplink != nullptr) {
+    // Contend for the host's shared NIC: only the bulk direction is shaped;
+    // acks and restore reports return on the unshaped reverse path.
+    uplink_flow = opts_.uplink->add_flow(opts_.uplink_weight);
+    channel->a_to_b().attach_shared_link(opts_.uplink, uplink_flow);
+  }
+  // Chain the session's cooperative pause gate in front of any caller-
+  // provided fleet hook, so a scheduler can both pause rounds (pause()/
+  // resume()) and observe them (Options::precopy.before_round).
+  hv::MigrationParams params = opts_.precopy;
+  auto user_hook = params.before_round;
+  params.before_round = [this, user_hook](sim::ThreadCtx& c) {
+    while (paused_) {
+      pause_event_.reset();
+      pause_event_.wait(c);
+    }
+    if (user_hook) user_hook(c);
+  };
+  if (opts_.uplink != nullptr) {
+    // The blackout's bytes ride the shared NIC's priority lane: queued
+    // behind peers' pre-copy bulk, the stop-and-copy residual would inflate
+    // downtime by the whole backlog. Raised after the caller's stop_begin
+    // (which may block on the fleet's stop token) and cleared before the
+    // caller's stop_end, so exactly the window between them is prioritized.
+    sim::Pipe* bulk = &channel->a_to_b();
+    auto user_stop_begin = params.stop_begin;
+    params.stop_begin = [bulk, user_stop_begin](sim::ThreadCtx& c) {
+      if (user_stop_begin) user_stop_begin(c);
+      bulk->set_urgent(true);
+    };
+    auto user_stop_end = params.stop_end;
+    params.stop_end = [bulk, user_stop_end](sim::ThreadCtx& c) {
+      bulk->set_urgent(false);
+      if (user_stop_end) user_stop_end(c);
+    };
+  }
+  hv::LiveMigrationEngine engine(world_->cost(), params);
 
   struct TargetOutcome {
     sim::Event done;
@@ -764,6 +807,12 @@ Result<hv::MigrationReport> VmMigrationSession::run(sim::ThreadCtx& ctx) {
   Result<hv::MigrationReport> report =
       engine.migrate_source(ctx, *vm_, channel->a());
   target_out.done.wait(ctx);
+  if (opts_.uplink != nullptr) {
+    // Wire phase over (success or not): hand the flow's share back to the
+    // still-migrating peers instead of letting the pacing heuristics age it
+    // out.
+    opts_.uplink->release(uplink_flow);
+  }
   target_report_ = target_out.report;
   Status agent_teardown = OkStatus();
   if (agent_ != nullptr) {

@@ -202,10 +202,26 @@ class VmMigrationSession {
     // manifest is carved out of the final delta dump.
     bool post_copy = false;
     bool hybrid = false;
+    // ---- fleet scheduling (src/fleet/) ----
+    // Shared uplink arbiter for concurrent migrations: when set, the session
+    // registers a flow of `uplink_weight` and attaches its migration
+    // channel's bulk (source->target) direction to it, so N concurrent
+    // sessions fairly share one modeled NIC. Acks return unshaped.
+    sim::SharedLink* uplink = nullptr;
+    uint64_t uplink_weight = 1;
+    // Invoked on the migration channel right after the session creates it,
+    // before any traffic. Lets a caller install per-VM fault plans or taps
+    // on exactly this migration's link (the world-level channel interceptor
+    // sees every channel, including counter/key helpers).
+    std::function<void(sim::Channel&)> channel_hook;
   };
 
   VmMigrationSession(hv::World& world, hv::Vm& vm, guestos::GuestOs& guest,
                      hv::Machine& source, hv::Machine& target, Options opts);
+  // Unregisters the handlers manage() installed: the process callbacks
+  // capture this session, and a retrying caller (fleet scheduler) destroys
+  // the session after each attempt.
+  ~VmMigrationSession();
 
   // Registers migration handlers for `host`'s process (call once per host
   // before run()).
@@ -220,6 +236,18 @@ class VmMigrationSession {
   const Result<hv::MigrationReport>& target_report() const {
     return target_report_;
   }
+
+  // Cooperative pause gate for an external scheduler (src/fleet/): while
+  // paused, the engine's pre-copy loop blocks at its next round boundary —
+  // the VM keeps running (and dirtying pages) meanwhile, so pausing costs
+  // pre-copy progress, never downtime. pause() only raises the flag;
+  // resume() wakes the blocked round. Idempotent; safe before/after run().
+  void pause() { paused_ = true; }
+  void resume(sim::ThreadCtx& ctx) {
+    paused_ = false;
+    pause_event_.set(ctx);
+  }
+  bool paused() const { return paused_; }
 
  private:
   struct ManagedEnclave;
@@ -245,6 +273,8 @@ class VmMigrationSession {
   hv::Machine* target_;
   Options opts_;
   EnclaveMigrator migrator_;
+  bool paused_ = false;
+  sim::Event pause_event_;
 
   struct ManagedEnclave {
     sdk::EnclaveHost* host = nullptr;

@@ -17,12 +17,82 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/cost_model.h"
 #include "sim/executor.h"
 #include "util/bytes.h"
 
 namespace mig::sim {
+
+// Weighted-fair arbiter for several pipes sharing one physical uplink.
+//
+// A host evacuating N VMs concurrently pushes all their migration streams
+// through one NIC. Each stream registers a flow (with a weight) and every
+// send asks the arbiter for a transmission slot. The link still serializes
+// physically (one message at a time), but a backlogged flow is paced so its
+// long-run share of the link is weight_f / sum(weights of backlogged flows):
+// a fat VM cannot starve the rest, and an idle flow's share is redistributed
+// instead of wasted. Deterministic: slots depend only on virtual time and
+// call order, both fixed by the executor's seed.
+class SharedLink {
+ public:
+  // `rate_x100` is the link's per-byte transmission cost (x100 fixed point),
+  // typically CostModel::net_ns_per_byte_x100.
+  explicit SharedLink(uint64_t rate_x100) : rate_x100_(rate_x100) {}
+
+  // Registers a flow with scheduling weight `weight` (>= 1) and returns its
+  // flow id. Flows are never removed; an idle flow costs nothing.
+  int add_flow(uint64_t weight);
+
+  // Marks a flow as done: it no longer counts toward contention, so its
+  // share is redistributed immediately instead of decaying with the pacing
+  // heuristics. A migration session releases its flow when its wire phase
+  // ends; without this, a finished flow's inflated gate reserves link
+  // capacity long after its last byte (ruinous at high concurrency).
+  void release(int flow) { flows_[flow].released = true; }
+
+  // Grants a transmission slot for `size` bytes from `flow`, ready to send
+  // at `ready_ns`. Advances the link and the flow's pacing gate. An
+  // `urgent` grant models per-packet priority queuing on the NIC: it jumps
+  // the bulk queue entirely (serializing only against other urgent traffic)
+  // and pushes subsequent bulk behind it. Reserved for the stop-and-copy
+  // blackout, whose bytes must not queue behind peers' pre-copy rounds.
+  struct Grant {
+    uint64_t start_ns;  // when the first byte hits the wire
+    uint64_t end_ns;    // when the last byte has left (link free again)
+  };
+  Grant admit(int flow, uint64_t size, uint64_t ready_ns, bool urgent = false);
+
+  uint64_t bytes_for(int flow) const { return flows_[flow].bytes; }
+  uint64_t rate_x100() const { return rate_x100_; }
+  size_t num_flows() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    uint64_t weight;
+    uint64_t gate_ns = 0;  // earliest next start honoring this flow's share
+    uint64_t last_end_ns = 0;  // wire end of this flow's latest grant
+    uint64_t last_tx_ns = 0;   // its transmission time
+    uint64_t bytes = 0;
+    bool released = false;  // done sending; excluded from contention
+  };
+  // A hole the arbiter left on the wire: a paced flow was granted a slot
+  // past link_free_ns_, so [start_ns, end_ns) went unused. Later admissions
+  // with earlier ready times backfill these, keeping the link
+  // work-conserving even though grants are one-shot and in call order.
+  struct Gap {
+    uint64_t start_ns;
+    uint64_t end_ns;
+  };
+  static constexpr size_t kMaxGaps = 8;
+
+  uint64_t rate_x100_;
+  uint64_t link_free_ns_ = 0;  // physical serialization across all flows
+  uint64_t urgent_free_ns_ = 0;  // serialization of the priority lane
+  std::vector<Flow> flows_;
+  std::vector<Gap> gaps_;
+};
 
 // One direction of a duplex link.
 class Pipe {
@@ -91,6 +161,22 @@ class Pipe {
   // QEMU-processing-laden migration path.
   void set_rate_x100(uint64_t rate_x100) { rate_override_x100_ = rate_x100; }
 
+  // Routes this pipe's transmissions through a shared uplink arbiter as
+  // `flow` (from SharedLink::add_flow). While attached, transmission timing
+  // comes from the arbiter instead of this pipe's private serialization, so
+  // several pipes contend for — and fairly share — one physical link.
+  // Latency and fault handling are unchanged. Pass nullptr to detach.
+  void attach_shared_link(SharedLink* link, int flow) {
+    shared_link_ = link;
+    shared_flow_ = flow;
+  }
+
+  // While set, this pipe's sends use the shared link's priority lane (see
+  // SharedLink::admit). The migration session raises it for the duration of
+  // the stop-and-copy blackout and clears it at stop_end. No effect when no
+  // shared link is attached.
+  void set_urgent(bool urgent) { urgent_ = urgent; }
+
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
 
@@ -106,6 +192,9 @@ class Pipe {
   Tap tap_;
   FaultHook fault_hook_;
   bool severed_ = false;
+  SharedLink* shared_link_ = nullptr;  // non-owning; see attach_shared_link
+  int shared_flow_ = -1;
+  bool urgent_ = false;  // route sends through the link's priority lane
   uint64_t rate_override_x100_ = 0;  // 0 = use cost model's net rate
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;

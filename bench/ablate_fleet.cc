@@ -30,6 +30,7 @@ std::shared_ptr<sdk::EnclaveProgram> make_prog() {
 
 struct RunResult {
   fleet::EvacuationReport report;
+  uint64_t counter_wait_ns = 0;  // time migrations queued for the signer
 };
 
 // One full host drain: `fleet_size` small VMs (one two-worker enclave each)
@@ -110,6 +111,7 @@ RunResult run_evacuation(size_t fleet_size, uint64_t max_concurrent) {
                 "simulation hung:\n" << world.executor().dump_state());
   MIG_CHECK(out.report.migrated == fleet_size);
   MIG_CHECK(out.report.quarantined == 0);
+  out.counter_wait_ns = counters.queue_wait_ns();
   return out;
 }
 
@@ -156,6 +158,7 @@ int main() {
         .num("downtime_p50_ns", rep.downtime_p50_ns)
         .num("downtime_p99_ns", rep.downtime_p99_ns)
         .num("downtime_max_ns", rep.downtime_max_ns)
+        .num("counter_wait_ns", r.counter_wait_ns)
         .emit();
   }
   // The point of the ablation, enforced: some concurrency level beats serial

@@ -1,0 +1,101 @@
+#include "crypto/merkle.h"
+
+namespace mig::crypto {
+
+namespace {
+
+// Largest power of two strictly less than n (n >= 2).
+uint64_t split_point(uint64_t n) {
+  uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+// RFC 6962 merkle tree hash over leaves[lo, hi).
+Digest subtree_root(const std::vector<Digest>& leaves, uint64_t lo,
+                    uint64_t hi) {
+  if (hi - lo == 1) return leaves[lo];
+  uint64_t k = split_point(hi - lo);
+  return merkle_node_hash(subtree_root(leaves, lo, lo + k),
+                          subtree_root(leaves, lo + k, hi));
+}
+
+// Audit path for leaves[index] within leaves[lo, hi), bottom-up.
+void subtree_path(const std::vector<Digest>& leaves, uint64_t lo, uint64_t hi,
+                  uint64_t index, std::vector<Digest>& out) {
+  if (hi - lo == 1) return;
+  uint64_t k = split_point(hi - lo);
+  if (index < lo + k) {
+    subtree_path(leaves, lo, lo + k, index, out);
+    out.push_back(subtree_root(leaves, lo + k, hi));
+  } else {
+    subtree_path(leaves, lo + k, hi, index, out);
+    out.push_back(subtree_root(leaves, lo, lo + k));
+  }
+}
+
+}  // namespace
+
+Digest merkle_leaf_hash(ByteSpan leaf) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.update(ByteSpan(&tag, 1));
+  h.update(leaf);
+  return h.finish();
+}
+
+Digest merkle_node_hash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.update(ByteSpan(&tag, 1));
+  h.update(ByteSpan(left));
+  h.update(ByteSpan(right));
+  return h.finish();
+}
+
+Digest MerkleTree::root() const {
+  if (leaves_.empty()) return Digest{};
+  return subtree_root(leaves_, 0, leaves_.size());
+}
+
+std::vector<Digest> MerkleTree::prove(uint64_t index) const {
+  std::vector<Digest> out;
+  if (index >= leaves_.size()) return out;
+  subtree_path(leaves_, 0, leaves_.size(), index, out);
+  return out;
+}
+
+bool merkle_verify_inclusion(const Digest& leaf_hash, uint64_t index,
+                             uint64_t size, const std::vector<Digest>& proof,
+                             const Digest& root) {
+  if (size == 0 || index >= size) return false;
+  // Walk the path bottom-up, mirroring subtree_path's shape over a virtual
+  // [0, size) range: at each level the sibling consumed is the next proof
+  // node. The recursion in prove() appends siblings inner-to-outer, so the
+  // iterative reconstruction must consume them in the same order.
+  Digest acc = leaf_hash;
+  uint64_t lo = 0, hi = size;
+  // Recompute the sequence of (left-or-right) turns top-down, then fold
+  // bottom-up: record the split decisions first.
+  std::vector<bool> leaf_is_left;  // per level, top-down
+  while (hi - lo > 1) {
+    uint64_t k = split_point(hi - lo);
+    if (index < lo + k) {
+      leaf_is_left.push_back(true);
+      hi = lo + k;
+    } else {
+      leaf_is_left.push_back(false);
+      lo += k;
+    }
+  }
+  if (proof.size() != leaf_is_left.size()) return false;
+  // proof[i] is the sibling at the i-th level counting from the leaf.
+  for (size_t i = 0; i < proof.size(); ++i) {
+    bool left = leaf_is_left[leaf_is_left.size() - 1 - i];
+    acc = left ? merkle_node_hash(acc, proof[i])
+               : merkle_node_hash(proof[i], acc);
+  }
+  return acc == root;
+}
+
+}  // namespace mig::crypto

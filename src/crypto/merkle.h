@@ -1,0 +1,51 @@
+// Append-only Merkle tree over SHA-256 (RFC 6962 structure).
+//
+// The quorum counter replicas (src/quorum/) keep their audit log as leaves of
+// one of these trees and co-sign the root in every reply, so the enclave — and
+// the offline tools/counter_audit verifier — can hold a replica to a single
+// linear history: two different logs of the same length have different roots,
+// and a replica that signs both has equivocated in a way anyone can prove.
+//
+// Leaves and interior nodes are domain-separated (0x00 / 0x01 prefixes) so a
+// leaf value can never be reinterpreted as a subtree root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace mig::crypto {
+
+// H(0x00 || leaf) — what MerkleTree stores per appended leaf.
+Digest merkle_leaf_hash(ByteSpan leaf);
+// H(0x01 || left || right).
+Digest merkle_node_hash(const Digest& left, const Digest& right);
+
+class MerkleTree {
+ public:
+  // Appends the raw leaf bytes (hashed internally).
+  void append(ByteSpan leaf) { leaves_.push_back(merkle_leaf_hash(leaf)); }
+  uint64_t size() const { return leaves_.size(); }
+
+  // Root over the current leaves. The empty tree's root is all zeroes — a
+  // sentinel no real tree can produce.
+  Digest root() const;
+
+  // Bottom-up audit path for the leaf at `index` (< size()) in the current
+  // tree. Verified with merkle_verify_inclusion against root()/size().
+  std::vector<Digest> prove(uint64_t index) const;
+
+ private:
+  std::vector<Digest> leaves_;  // leaf hashes in append order
+};
+
+// True iff `proof` links a leaf with hash `leaf_hash` at position `index` of
+// a `size`-leaf tree to `root`. Rejects out-of-range indices and proofs of
+// the wrong length for the (index, size) shape.
+bool merkle_verify_inclusion(const Digest& leaf_hash, uint64_t index,
+                             uint64_t size, const std::vector<Digest>& proof,
+                             const Digest& root);
+
+}  // namespace mig::crypto

@@ -82,7 +82,7 @@ struct EvacuationPlan {
   crypto::CipherAlg cipher = crypto::CipherAlg::kRc4;
   uint64_t chunk_bytes = 64 * 1024;
   uint64_t seal_workers = 2;
-  store::CounterService* counter_service = nullptr;
+  store::CounterBackend* counter_service = nullptr;
 };
 
 // One VM's final outcome.

@@ -238,7 +238,7 @@ Status EnclaveMigrator::restore(
     // restored enclave is NOT rollback-protected; the caller opted into that
     // protection, so surface it as a restore failure.
     counter_channels_.push_back(world_->make_channel());
-    store::CounterService* ctr = opts.counter_service;
+    store::CounterBackend* ctr = opts.counter_service;
     sim::Channel* cch = counter_channels_.back().get();
     world_->executor().spawn("ctr-advance", [ctr, cch](sim::ThreadCtx& c) {
       ctr->serve_one(c, cch->a());
@@ -269,7 +269,7 @@ Result<Bytes> EnclaveMigrator::snapshot_to_store(
                  "snapshot_to_store needs a counter service");
   obs::Span<sim::ThreadCtx> span(ctx, "store.snapshot", "store");
   counter_channels_.push_back(world_->make_channel());
-  store::CounterService* ctr = opts.counter_service;
+  store::CounterBackend* ctr = opts.counter_service;
   sim::Channel* ch = counter_channels_.back().get();
   world_->executor().spawn("ctr-sealgrant", [ctr, ch](sim::ThreadCtx& c) {
     ctr->serve_one(c, ch->a());
@@ -321,7 +321,7 @@ Status EnclaveMigrator::restore_from_store(sim::ThreadCtx& ctx,
   MIG_RETURN_IF_ERROR(host.create(ctx));
   Status st = [&]() -> Status {
     counter_channels_.push_back(world_->make_channel());
-    store::CounterService* ctr = opts.counter_service;
+    store::CounterBackend* ctr = opts.counter_service;
     sim::Channel* ch = counter_channels_.back().get();
     world_->executor().spawn("ctr-opengrant", [ctr, ch](sim::ThreadCtx& c) {
       ctr->serve_one(c, ch->a());

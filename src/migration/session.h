@@ -51,7 +51,7 @@ struct EnclaveMigrateOptions {
   // live migration commits, so every snapshot sealed before the migration is
   // dead (rollback defense — see store/counter_service.h). Also required by
   // the snapshot_to_store / restore_from_store paths.
-  store::CounterService* counter_service = nullptr;
+  store::CounterBackend* counter_service = nullptr;
 
   // ---- post-copy (wire format v4) ----
   // dump_delta(final): leave the residual dirty pages behind as kRemote
@@ -187,7 +187,7 @@ class VmMigrationSession {
     // Forwarded to every enclave's EnclaveMigrateOptions: when set, each
     // committed restore advances the enclave's monotonic counter (rollback
     // defense for pre-migration snapshots).
-    store::CounterService* counter_service = nullptr;
+    store::CounterBackend* counter_service = nullptr;
     // Incremental enclave checkpointing (wire format v3): take a full
     // baseline dump while the workers keep running, ship re-dirtied pages
     // after each pre-copy round, and capture only the residual dirty set at

@@ -1,0 +1,239 @@
+// Quorum-replicated monotonic-counter service (§V-C rollback defense without
+// a single trusted box).
+//
+// The single-signer store/CounterService is both a trust and an availability
+// single point of failure: whoever runs it can roll the counter back by
+// restoring the box from its own backup, and when it is down every snapshot
+// restore and post-migration ADVANCE fails closed. This module replaces the
+// box with 2f+1 replicas:
+//
+//   * Attested membership. Each CounterReplica carries a measurement and a
+//     Schnorr key pair. The enclave owner pins the full membership set
+//     (sdk/chunk_wire.h QMB1 blob) into the enclave image at provision time
+//     (config blob 4); from then on a grant needs f+1 matching signatures
+//     from *pinned* replicas — nothing the cloud operator substitutes later
+//     counts.
+//
+//   * Two-phase serve. The (untrusted) QuorumCounterService coordinator fans
+//     a request out as PREPARE to every replica; each replica independently
+//     attests the requester, validates the verb against its CounterCore
+//     (peek — no mutation), and answers with the counter value it would
+//     grant. Only when f+1 replicas agree does the coordinator send COMMIT;
+//     replicas apply, append to their audit log, and return a Schnorr-signed
+//     grant record. No quorum of PREPARE acks ⇒ abort: nothing was applied
+//     anywhere, no reply is sent, and the enclave's channel timeout makes
+//     the operation fail closed — "quorum lost" can never half-advance a
+//     counter.
+//
+//   * Merkle audit log. Every replica appends each granted op (serialized
+//     CounterAuditEntry) to an append-only log and maintains an RFC 6962
+//     Merkle tree over it. Each grant record carries the log size, the root,
+//     the newest leaf, and an inclusion proof — all under the replica's
+//     signature — so every reply commits the replica to one linear history.
+//     tools/counter_audit replays exported logs offline and proves the
+//     advance history is linear (no forks, no rollback), including across
+//     crash recovery; the coordinator cross-checks roots online and excludes
+//     (and flight-records) any replica caught signing two different roots
+//     for the same log size.
+//
+// Byzantine fault knobs on CounterReplica (set_equivocate, set_stale,
+// set_crash_at_commit, set_available) plus sim::FaultPlan on the per-replica
+// links let tests drive up to f replicas arbitrarily wrong: migrations still
+// complete, and f+1 failures fail closed without a counter advance.
+//
+// Trust note: replicas share the sealing-key root (a replicated HSM secret
+// distributed during membership provisioning) — they must, or no two
+// replicas could grant the same sealing key and no quorum would ever match
+// on the key commitment. Signing keys and nonces are per-replica.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "sdk/chunk_wire.h"
+#include "sgx/attestation.h"
+#include "sim/network.h"
+#include "store/counter_service.h"
+
+namespace mig::quorum {
+
+// Canonical audit-log leaf encoding (what the Merkle tree hashes, what the
+// wire carries, and what tools/counter_audit parses back).
+Bytes encode_audit_leaf(const store::CounterAuditEntry& e);
+Result<store::CounterAuditEntry> parse_audit_leaf(ByteSpan leaf);
+
+// One replica: verb state machine + Merkle-logged grant signing. Passive —
+// the coordinator owns the channels and spawns the threads that drive it.
+class CounterReplica {
+ public:
+  // `kroot` is the replicated sealing-key root shared by the membership;
+  // `rng` seeds this replica's signing key and nonces.
+  CounterReplica(uint64_t id, Bytes kroot, sgx::AttestationService& ias,
+                 crypto::Drbg rng);
+
+  uint64_t id() const { return id_; }
+  // The attested membership record the enclave owner pins at build time.
+  sdk::QuorumMember member() const;
+
+  // ---- fault knobs (tests / trace scenarios) ----
+  // Crashed / partitioned from the coordinator's side of the world: every
+  // incoming message is swallowed, no reply ever leaves.
+  void set_available(bool v) { available_ = v; }
+  // Crash at the next COMMIT: the op is NOT applied, no grant leaves, and
+  // the replica goes unavailable — the torn moment a power cut hits a real
+  // box between the prepare ack and the log append.
+  void set_crash_at_commit(bool v) { crash_at_commit_ = v; }
+  // Byzantine: applies ops (so counters and keys stay plausible) but stops
+  // appending to the log and signs a *different* root for the same log size
+  // on every op — a fork presented as one history. The coordinator's root
+  // cross-check catches this on the first conflicting reply.
+  void set_equivocate(bool v) { equivocate_ = v; }
+  // Byzantine: acks PREPARE normally but never applies at COMMIT — it signs
+  // its genuine (now stale) counter and tree. The signature verifies, but
+  // the record can never join the honest replicas' matching set.
+  void set_stale(bool v) { stale_ = v; }
+  // Export knob: export_log() truncates the last entry mid-bytes, modeling
+  // a torn write caught by a crash. tools/counter_audit must detect the torn
+  // tail, drop it, and still verify the prefix.
+  void set_torn_log_tail(bool v) { torn_log_tail_ = v; }
+
+  // ---- inspection ----
+  uint64_t counter(const crypto::Digest& mrenclave) const {
+    return core_.counter(ByteSpan(mrenclave));
+  }
+  const std::vector<store::CounterAuditEntry>& audit_log() const {
+    return audit_;
+  }
+  uint64_t log_size() const { return tree_.size(); }
+  crypto::Digest log_root() const { return tree_.root(); }
+
+  // Serialized log for offline audit: every leaf in order (subject to
+  // set_torn_log_tail) plus the root this replica last signed. The root is
+  // the replica's *claim* (what went out under its signature), not a
+  // recomputation — tools/counter_audit recomputes from the leaves and a
+  // mismatch is exactly how an equivocator's fork shows up offline.
+  struct ExportedLog {
+    uint64_t replica_id = 0;
+    std::vector<Bytes> leaves;
+    crypto::Digest signed_root{};  // root as published, NOT recomputed
+  };
+  ExportedLog export_log() const;
+
+ private:
+  friend class QuorumCounterService;
+
+  // Message handlers, called on coordinator-spawned sim threads. `end` is
+  // this replica's end of its link to the coordinator.
+  void handle_prepare(sim::ThreadCtx& ctx, sim::Channel::End& end,
+                      uint64_t op, Bytes request);
+  void handle_commit(sim::ThreadCtx& ctx, sim::Channel::End& end, uint64_t op);
+  void handle_abort(uint64_t op) { staged_.erase(op); }
+
+  uint64_t id_;
+  sgx::AttestationService* ias_;
+  crypto::Drbg rng_;
+  crypto::SigKeyPair sig_;
+  Bytes measurement_;  // 32 B attestation measurement stand-in
+  store::CounterCore core_;
+  std::vector<store::CounterAuditEntry> audit_;
+  std::vector<Bytes> leaves_;  // serialized audit_, the log payload
+  crypto::MerkleTree tree_;
+
+  struct StagedOp {
+    std::string verb;
+    uint64_t counter_arg = 0;
+    Bytes dh_pub_e;
+    crypto::Digest mrenclave{};
+  };
+  std::map<uint64_t, StagedOp> staged_;
+
+  bool available_ = true;
+  bool crash_at_commit_ = false;
+  bool equivocate_ = false;
+  bool stale_ = false;
+  bool torn_log_tail_ = false;
+  uint64_t equivocation_salt_ = 0;  // varies the forged root per reply
+  bool ever_signed_ = false;
+  crypto::Digest published_root_{};  // root in the latest signed record
+};
+
+// The coordinator: an untrusted process (it holds no key material an
+// attacker would want) that owns one duplex link per replica, fans requests
+// out, assembles the f+1-matching reply envelope, and forwards it to the
+// enclave. It implements store::CounterBackend, so every call site that
+// holds a CounterBackend* — migration sessions, the fleet scheduler — can
+// swap the single signer for the quorum without changing shape.
+class QuorumCounterService final : public store::CounterBackend {
+ public:
+  // Builds `n` replicas (n odd, 3 <= n <= sdk::kMaxQuorumReplicas) sharing
+  // one sealing-key root, wires a channel to each, and spawns one daemon
+  // dispatcher thread per replica plus one daemon router thread per replica
+  // reply stream. Daemons never keep the executor's run() alive.
+  QuorumCounterService(sim::Executor& exec, sgx::AttestationService& ias,
+                       crypto::Drbg rng, uint64_t n);
+
+  // The pinned membership enclaves are built with (config blob 4).
+  sdk::QuorumMembership membership() const;
+  Bytes membership_blob() const {
+    return sdk::encode_quorum_membership(membership());
+  }
+
+  void serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) override;
+
+  CounterReplica& replica(size_t i) { return *replicas_[i]; }
+  size_t num_replicas() const { return replicas_.size(); }
+
+  // Fault-injection seams: the coordinator->replica and replica->coordinator
+  // pipes of replica i, for sim::FaultPlan / sever().
+  sim::Pipe& pipe_to_replica(size_t i) { return links_[i]->a_to_b(); }
+  sim::Pipe& pipe_from_replica(size_t i) { return links_[i]->b_to_a(); }
+
+  // Replicas the online root cross-check caught equivocating (excluded from
+  // every later envelope).
+  const std::set<uint64_t>& excluded() const { return excluded_; }
+
+  // Per-phase reply deadline. Two phases fit inside the enclave's 5 s
+  // channel timeout with slack.
+  static constexpr uint64_t kPhaseTimeoutNs = 2'000'000'000;  // 2 s
+
+ private:
+  struct Pending {
+    std::unique_ptr<sim::Event> wake;
+    std::map<uint64_t, uint64_t> acks;       // replica id -> proposed counter
+    std::map<uint64_t, std::string> refusals;  // replica id -> why
+    // Grant records parsed from commit replies (single-record envelopes).
+    std::map<uint64_t, sdk::QuorumReplyEnvelope> grants;
+  };
+
+  void router_loop(sim::ThreadCtx& ctx, size_t replica_index);
+  void dispatcher_loop(sim::ThreadCtx& ctx, size_t replica_index);
+
+  // True iff the record is consistent with every root this replica already
+  // signed for the same log size; records the root otherwise. On conflict
+  // the replica joins excluded_ and the event is flight-recorded.
+  bool root_consistent(sim::ThreadCtx& ctx, const sdk::QuorumReplyRecord& rec);
+
+  std::vector<std::unique_ptr<CounterReplica>> replicas_;
+  std::vector<std::unique_ptr<sim::Channel>> links_;
+  uint64_t next_op_ = 1;
+  std::map<uint64_t, Pending> pending_;
+
+  // COMMIT phases serialize globally so every replica applies mutating ops
+  // in the same order — without this, two concurrent OPENGRANTs could apply
+  // in different orders on different replicas and fork the counter state.
+  // PREPAREs (attestation, WAN round trips — the expensive part) overlap
+  // freely, which is what removes the single-signer choke point.
+  bool commit_busy_ = false;
+  std::unique_ptr<sim::Event> commit_idle_;
+
+  // Online equivocation check: every (log size -> root) each replica ever
+  // signed. One replica, one size, two roots => Byzantine, excluded.
+  std::map<uint64_t, std::map<uint64_t, crypto::Digest>> seen_roots_;
+  std::set<uint64_t> excluded_;
+};
+
+}  // namespace mig::quorum

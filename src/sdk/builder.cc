@@ -56,8 +56,9 @@ BuildOutput build_enclave_image(const BuildInput& input,
   }
 
   // Config region (read-only): identity pub | encrypted identity priv |
-  // IAS pk | counter-service pk (empty blob when not configured — readers
-  // index blobs sequentially, so the slot is always written).
+  // IAS pk | counter-service pk | quorum membership (unconfigured slots are
+  // written as empty blobs — readers index blobs sequentially, so every
+  // slot is always present).
   {
     Bytes priv = out.owner.identity.sk.to_bytes_padded(160);
     Bytes nonce(12, 0x5e);
@@ -69,6 +70,7 @@ BuildOutput build_enclave_image(const BuildInput& input,
     w.bytes(input.counter_service_pk
                 ? input.counter_service_pk->to_bytes_padded(160)
                 : Bytes{});
+    w.bytes(input.quorum_membership);
     Bytes config = w.take();
     MIG_CHECK(config.size() <= sgx::kPageSize);
     add_page(l.config_off, sgx::PageType::kReg, sgx::Perms{true, false, false},

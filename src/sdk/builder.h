@@ -43,6 +43,11 @@ struct BuildInput {
   // replies for the persistent snapshot store. Absent ⇒ snapshot/restore
   // from the store is refused (the enclave has no root of trust for it).
   std::optional<crypto::BigNum> counter_service_pk;
+  // When non-empty, a QMB1-encoded quorum membership set (config blob 4,
+  // see sdk/chunk_wire.h): the enclave then requires f+1 matching
+  // Schnorr-signed replies from the pinned 2f+1 replicas instead of one
+  // CTRGRANT, and rejects single-signer grants outright (anti-downgrade).
+  Bytes quorum_membership;
 };
 
 struct BuildOutput {
@@ -62,7 +67,8 @@ BuildOutput build_enclave_image(const BuildInput& input,
 
 // Offsets of the embedded blobs inside the config region (serialized with
 // util/serde): identity_pub | identity_priv_encrypted | ias_pk |
-// counter_service_pk (empty when the image was built without one).
+// counter_service_pk | quorum_membership (the last two are empty blobs when
+// the image was built without them).
 Bytes read_config_blob(ByteSpan config_page, int index);
 
 }  // namespace mig::sdk

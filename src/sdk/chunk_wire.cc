@@ -16,6 +16,8 @@ constexpr char kSnapMagic[4] = {'M', 'G', 'S', '1'};
 constexpr char kDeltaSegMagic[4] = {'M', 'G', 'D', '3'};
 constexpr char kDeltaBoxMagic[4] = {'M', 'G', 'V', '3'};
 constexpr char kPageMagic[4] = {'M', 'G', 'P', '4'};
+constexpr char kQuorumMagic[4] = {'M', 'G', 'Q', '1'};
+constexpr char kMembershipMagic[4] = {'Q', 'M', 'B', '1'};
 
 bool has_magic(ByteSpan b, const char (&magic)[4]) {
   if (b.size() < 4) return false;
@@ -413,6 +415,188 @@ Result<PageReply> parse_page_reply(ByteSpan blob) {
   }
   MIG_RETURN_IF_ERROR(r.finish());
   return reply;
+}
+
+// ---- quorum counter service wire formats ----
+
+bool is_quorum_reply(ByteSpan blob) { return has_magic(blob, kQuorumMagic); }
+
+Bytes encode_quorum_membership(const QuorumMembership& m) {
+  MIG_CHECK(!m.members.empty() && m.members.size() % 2 == 1);
+  Writer w;
+  put_magic(w, kMembershipMagic);
+  w.u64(m.members.size());
+  for (const QuorumMember& mem : m.members) {
+    MIG_CHECK(mem.measurement.size() == 32);
+    MIG_CHECK(!mem.pk.empty());
+    w.u64(mem.id);
+    w.raw(mem.measurement);
+    w.bytes(mem.pk);
+  }
+  return w.take();
+}
+
+Result<QuorumMembership> parse_quorum_membership(ByteSpan blob) {
+  if (!has_magic(blob, kMembershipMagic))
+    return Error(ErrorCode::kIntegrityViolation, "not a quorum membership");
+  Reader r(blob.subspan(4));
+  uint64_t n = r.u64();
+  if (!r.ok() || n == 0 || n > kMaxQuorumReplicas)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quorum membership: absurd member count");
+  if (n % 2 == 0)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quorum membership: member count must be 2f+1 (odd)");
+  QuorumMembership m;
+  m.members.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    QuorumMember mem;
+    mem.id = r.u64();
+    mem.measurement = r.raw(32);
+    mem.pk = r.bytes();
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum membership: truncated at member " +
+                       std::to_string(i));
+    if (mem.pk.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum membership: empty key for member " +
+                       std::to_string(i));
+    for (const QuorumMember& prev : m.members) {
+      if (prev.id == mem.id)
+        return Error(ErrorCode::kIntegrityViolation,
+                     "quorum membership: duplicate replica id " +
+                         std::to_string(mem.id));
+    }
+    m.members.push_back(std::move(mem));
+  }
+  MIG_RETURN_IF_ERROR(r.finish());
+  return m;
+}
+
+Bytes encode_quorum_reply(const QuorumReplyEnvelope& env) {
+  MIG_CHECK(!env.records.empty());
+  MIG_CHECK(env.records.size() == env.sigs.size());
+  Writer w;
+  put_magic(w, kQuorumMagic);
+  w.u64(env.records.size());
+  for (const QuorumReplyRecord& rec : env.records) {
+    MIG_CHECK(rec.key_commit.size() == 32);
+    MIG_CHECK(rec.root.size() == 32);
+    w.u64(rec.replica_id);
+    w.u64(rec.counter);
+    w.raw(rec.key_commit);
+    w.u64(rec.tree_size);
+    w.raw(rec.root);
+    w.bytes(rec.leaf);
+    w.u64(rec.proof.size());
+    for (const Bytes& node : rec.proof) {
+      MIG_CHECK(node.size() == 32);
+      w.raw(node);
+    }
+    w.bytes(rec.dh_pub_s);
+    w.bytes(rec.enc_key);
+  }
+  w.u64(env.sigs.size());
+  for (const Bytes& sig : env.sigs) w.bytes(sig);
+  return w.take();
+}
+
+Result<QuorumReplyEnvelope> parse_quorum_reply(ByteSpan blob) {
+  if (!is_quorum_reply(blob))
+    return Error(ErrorCode::kIntegrityViolation, "not a quorum reply");
+  Reader r(blob.subspan(4));
+  uint64_t count = r.u64();
+  if (!r.ok())
+    return Error(ErrorCode::kIntegrityViolation, "quorum reply malformed");
+  if (count == 0)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quorum reply: empty reply set");
+  if (count > kMaxQuorumReplicas)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quorum reply: absurd record count");
+  QuorumReplyEnvelope env;
+  env.records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    QuorumReplyRecord rec;
+    rec.replica_id = r.u64();
+    rec.counter = r.u64();
+    rec.key_commit = r.raw(32);
+    rec.tree_size = r.u64();
+    rec.root = r.raw(32);
+    rec.leaf = r.bytes();
+    uint64_t proof_len = r.u64();
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: truncated record " + std::to_string(i));
+    if (proof_len > kMaxQuorumProofNodes)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: absurd proof length in record " +
+                       std::to_string(i));
+    rec.proof.reserve(proof_len);
+    for (uint64_t p = 0; p < proof_len; ++p) {
+      Bytes node = r.raw(32);
+      if (!r.ok())
+        return Error(ErrorCode::kIntegrityViolation,
+                     "quorum reply: truncated merkle proof in record " +
+                         std::to_string(i));
+      rec.proof.push_back(std::move(node));
+    }
+    rec.dh_pub_s = r.bytes();
+    rec.enc_key = r.bytes();
+    if (!r.ok())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: truncated record " + std::to_string(i));
+    if (rec.counter == 0)
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: counter 0 is never granted (record " +
+                       std::to_string(i) + ")");
+    if (rec.tree_size == 0 || rec.leaf.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: empty audit log in record " +
+                       std::to_string(i));
+    for (const QuorumReplyRecord& prev : env.records) {
+      if (prev.replica_id == rec.replica_id)
+        return Error(ErrorCode::kIntegrityViolation,
+                     "quorum reply: duplicate replica id " +
+                         std::to_string(rec.replica_id));
+    }
+    env.records.push_back(std::move(rec));
+  }
+  uint64_t sig_count = r.u64();
+  if (!r.ok() || sig_count != count)
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quorum reply: signature count does not match record count");
+  env.sigs.reserve(sig_count);
+  for (uint64_t i = 0; i < sig_count; ++i) {
+    Bytes sig = r.bytes();
+    if (!r.ok() || sig.empty())
+      return Error(ErrorCode::kIntegrityViolation,
+                   "quorum reply: bad signature " + std::to_string(i));
+    env.sigs.push_back(std::move(sig));
+  }
+  MIG_RETURN_IF_ERROR(r.finish());
+  return env;
+}
+
+Bytes quorum_reply_transcript(std::string_view verb, ByteSpan dh_pub_e,
+                              const QuorumReplyRecord& rec) {
+  // The proof is deliberately outside the transcript: it is verified against
+  // the signed root, so tampering with it is already detected, and keeping it
+  // unsigned lets a replica prove the same leaf against later roots.
+  Writer t;
+  t.str("qrm-reply");
+  t.str(verb);
+  t.bytes(dh_pub_e);
+  t.u64(rec.replica_id);
+  t.u64(rec.counter);
+  t.raw(rec.key_commit);
+  t.u64(rec.tree_size);
+  t.raw(rec.root);
+  t.bytes(rec.leaf);
+  t.bytes(rec.dh_pub_s);
+  t.bytes(rec.enc_key);
+  return t.take();
 }
 
 }  // namespace mig::sdk

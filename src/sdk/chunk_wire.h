@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "crypto/aead.h"
@@ -247,5 +248,90 @@ Bytes encode_page_done();
 // truncation (naming the failing record) and trailing bytes.
 Result<PageRequest> parse_page_request(ByteSpan blob);
 Result<PageReply> parse_page_reply(ByteSpan blob);
+
+// ---- quorum counter service (src/quorum/) wire formats ----
+//
+// The 2f+1-replica counter service answers a SEALGRANT/OPENGRANT/ADVANCE
+// request with an *envelope* of per-replica grant records instead of one
+// CTRGRANT. Two formats:
+//
+//  * membership blob (config blob 4, pinned at image build time):
+//
+//      "QMB1" | u64 n | n x ( u64 replica_id | measurement (32 raw bytes)
+//                             | bytes pk )
+//
+//    n must be odd (2f+1); the enclave accepts a grant only when f+1
+//    distinct pinned replicas signed matching records. An image with an
+//    empty blob 4 runs in single-signer mode (config blob 3) unchanged.
+//
+//  * reply envelope (coordinator -> enclave):
+//
+//      "MGQ1" | u64 record_count | record_count x record
+//             | u64 sig_count | sig_count x bytes sig
+//      record = u64 replica_id | u64 counter | key_commit (32 raw bytes)
+//             | u64 tree_size | root (32 raw bytes) | bytes leaf
+//             | u64 proof_len | proof_len x (32 raw bytes)
+//             | bytes dh_pub_s | bytes enc_key
+//
+//    sig[i] is replica i's Schnorr signature over
+//    quorum_reply_transcript(verb, dh_pub_e, record[i]) — the enclave's
+//    fresh DH value makes each record reply-bound (no replay), and the
+//    co-signed Merkle root + inclusion proof of `leaf` (the replica's newest
+//    audit-log entry, at index tree_size-1) commit the replica to one linear
+//    log history. key_commit = SHA-256 of the granted sealing key, so the
+//    enclave can check that every matching replica granted the *same* key
+//    before trusting any single record's enc_key.
+
+inline constexpr uint64_t kMaxQuorumReplicas = 16;
+// An audit path longer than 64 nodes implies a tree with > 2^64 leaves.
+inline constexpr uint64_t kMaxQuorumProofNodes = 64;
+
+struct QuorumMember {
+  uint64_t id = 0;
+  Bytes measurement;  // 32 raw bytes (replica attestation measurement)
+  Bytes pk;           // serialized Schnorr public key
+};
+
+struct QuorumMembership {
+  std::vector<QuorumMember> members;  // size 2f+1, odd
+  uint64_t f() const { return (members.size() - 1) / 2; }
+  uint64_t quorum() const { return f() + 1; }
+};
+
+Bytes encode_quorum_membership(const QuorumMembership& m);
+// Defensive: rejects bad magic, zero/even/absurd member counts, duplicate
+// replica ids, short measurements, empty keys, and trailing bytes.
+Result<QuorumMembership> parse_quorum_membership(ByteSpan blob);
+
+struct QuorumReplyRecord {
+  uint64_t replica_id = 0;
+  uint64_t counter = 0;
+  Bytes key_commit;  // 32 raw bytes: SHA-256 of the sealing key ("" for none)
+  uint64_t tree_size = 0;  // audit-log size after this op
+  Bytes root;              // 32 raw bytes: Merkle root over the log
+  Bytes leaf;              // newest audit entry (serialized, index size-1)
+  std::vector<Bytes> proof;  // inclusion proof nodes, 32 raw bytes each
+  Bytes dh_pub_s;
+  Bytes enc_key;  // sealing key sealed to the requester; empty for ADVANCE
+};
+
+struct QuorumReplyEnvelope {
+  std::vector<QuorumReplyRecord> records;
+  std::vector<Bytes> sigs;  // parallel to records
+};
+
+// True iff `blob` starts with the MGQ1 magic.
+bool is_quorum_reply(ByteSpan blob);
+
+Bytes encode_quorum_reply(const QuorumReplyEnvelope& env);
+// Defensive: rejects bad magic, a zero-length reply set, absurd counts,
+// duplicate replica ids, counter 0, short commit/root digests, truncated
+// Merkle proofs (naming the record), a signature count that does not match
+// the record count, empty signatures, and trailing bytes.
+Result<QuorumReplyEnvelope> parse_quorum_reply(ByteSpan blob);
+
+// The per-record byte string a replica signs (and the enclave verifies).
+Bytes quorum_reply_transcript(std::string_view verb, ByteSpan dh_pub_e,
+                              const QuorumReplyRecord& rec);
 
 }  // namespace mig::sdk

@@ -8,6 +8,7 @@
 
 #include "crypto/ciphers.h"
 #include "crypto/hmac.h"
+#include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -155,6 +156,11 @@ class ControlEngine {
   // Counter-service verification key (config blob 3); empty when the image
   // was built without one — every store command then fails closed.
   Bytes embedded_counter_pk_blob() { return config_blob(3); }
+
+  // Pinned quorum membership (config blob 4, QMB1); non-empty switches every
+  // store command to quorum mode: f+1 matching signed replies required, and
+  // single-signer CTRGRANTs are rejected outright (anti-downgrade).
+  Bytes embedded_quorum_membership_blob() { return config_blob(4); }
 
   void wan_round_trip() { env_->ctx().sleep(2 * env_->cost().wan_latency_ns); }
 
@@ -1567,8 +1573,9 @@ class ControlEngine {
                                             std::string_view verb,
                                             uint64_t counter_arg,
                                             uint64_t timeout_ns) {
+    Bytes membership_blob = embedded_quorum_membership_blob();
     Bytes pk_blob = embedded_counter_pk_blob();
-    if (pk_blob.empty())
+    if (pk_blob.empty() && membership_blob.empty())
       return Error(ErrorCode::kFailedPrecondition,
                    "image built without a counter-service key");
     env_->work(env_->cost().dh_keygen_ns);
@@ -1591,6 +1598,8 @@ class ControlEngine {
       return Error(ErrorCode::kDeadlineExceeded,
                    "counter service never answered");
     Bytes reply = std::move(*reply_in);
+    if (!membership_blob.empty())
+      return verify_quorum_grant(reply, verb, dh_pub, kp, membership_blob);
     Reader r(reply);
     std::string tag = r.str();
     uint64_t counter = r.u64();
@@ -1625,6 +1634,115 @@ class ControlEngine {
       Bytes session = crypto::hkdf(to_bytes("ctr-channel"), shared, dh_pub, 32);
       MIG_ASSIGN_OR_RETURN(grant.key, crypto::open(session, enc));
     }
+    return grant;
+  }
+
+  // Quorum-mode reply verification (§ docs/store.md "replicated counter"):
+  // the enclave accepts a grant only when f+1 *distinct pinned* replicas
+  // signed records agreeing on (counter, key_commit), each record is bound
+  // to our fresh DH value via the signed transcript, and each record's
+  // newest audit-log leaf proves inclusion under its co-signed Merkle root.
+  // A record failing any check is excluded individually — up to f Byzantine
+  // replicas (forged signatures, stale counters, equivocating roots) cannot
+  // block a grant backed by the f+1 honest ones, and can never assemble a
+  // quorum of their own.
+  Result<CounterGrant> verify_quorum_grant(const Bytes& reply,
+                                           std::string_view verb,
+                                           const Bytes& dh_pub,
+                                           const crypto::DhKeyPair& kp,
+                                           const Bytes& membership_blob) {
+    auto membership = parse_quorum_membership(membership_blob);
+    if (!membership.ok())
+      return Error(ErrorCode::kFailedPrecondition,
+                   "image carries a malformed quorum membership");
+    if (!is_quorum_reply(reply)) {
+      // Legacy-format reply to a quorum-pinned enclave. A refusal is still
+      // meaningful — the untrusted coordinator forwards the replicas'
+      // matching refusal verbatim, and acting on it achieves nothing that
+      // dropping our traffic could not. A single-signer CTRGRANT, however,
+      // can never satisfy the pinned membership: reject it outright so a
+      // compromised operator cannot downgrade us to one signer.
+      Reader r(reply);
+      std::string tag = r.str();
+      r.u64();
+      r.bytes();
+      r.bytes();
+      r.bytes();
+      MIG_RETURN_IF_ERROR(r.finish());
+      if (tag != "CTRGRANT")
+        return Error(ErrorCode::kPermissionDenied,
+                     "counter service refused: " + tag);
+      return Error(ErrorCode::kAuthFailure,
+                   "single-signer grant rejected: enclave pins a replica quorum");
+    }
+    MIG_ASSIGN_OR_RETURN(QuorumReplyEnvelope env, parse_quorum_reply(reply));
+
+    // Per-record verification: pinned id, Schnorr over the reply-bound
+    // transcript, Merkle inclusion of the newest leaf under the signed root.
+    std::vector<const QuorumReplyRecord*> valid;
+    for (size_t i = 0; i < env.records.size(); ++i) {
+      const QuorumReplyRecord& rec = env.records[i];
+      const QuorumMember* member = nullptr;
+      for (const QuorumMember& m : membership->members)
+        if (m.id == rec.replica_id) member = &m;
+      if (member == nullptr) continue;  // unpinned replica: ignore
+      env_->work(env_->cost().sig_verify_ns);
+      Bytes transcript = quorum_reply_transcript(verb, dh_pub, rec);
+      if (!crypto::sig_verify(crypto::BigNum::from_bytes(member->pk),
+                              transcript, env.sigs[i]))
+        continue;
+      crypto::Digest root;
+      std::copy(rec.root.begin(), rec.root.end(), root.begin());
+      std::vector<crypto::Digest> proof;
+      proof.reserve(rec.proof.size());
+      for (const Bytes& node : rec.proof) {
+        crypto::Digest d;
+        std::copy(node.begin(), node.end(), d.begin());
+        proof.push_back(d);
+      }
+      if (!crypto::merkle_verify_inclusion(crypto::merkle_leaf_hash(rec.leaf),
+                                           rec.tree_size - 1, rec.tree_size,
+                                           proof, root))
+        continue;
+      valid.push_back(&rec);
+    }
+
+    // Quorum assembly: the (counter, key_commit) pair backed by the most
+    // distinct replicas must clear f+1. Parsing already rejected duplicate
+    // replica ids, so counting records counts replicas.
+    std::vector<const QuorumReplyRecord*> winners;
+    for (const QuorumReplyRecord* a : valid) {
+      std::vector<const QuorumReplyRecord*> group;
+      for (const QuorumReplyRecord* b : valid)
+        if (b->counter == a->counter &&
+            crypto::ct_equal(ByteSpan(b->key_commit), ByteSpan(a->key_commit)))
+          group.push_back(b);
+      if (group.size() > winners.size()) winners = std::move(group);
+    }
+    if (winners.size() < membership->quorum())
+      return Error(ErrorCode::kAuthFailure,
+                   "quorum not reached: " + std::to_string(winners.size()) +
+                       " of " + std::to_string(membership->quorum()) +
+                       " required matching signed replies");
+
+    // Any winning record carries the same key (its commitment is part of the
+    // quorum match); decrypt from the first and check it against the
+    // co-signed commitment before trusting it.
+    const QuorumReplyRecord& rec = *winners.front();
+    CounterGrant grant;
+    grant.counter = rec.counter;
+    if (!rec.enc_key.empty()) {
+      env_->work(env_->cost().dh_shared_ns);
+      MIG_ASSIGN_OR_RETURN(
+          Bytes shared,
+          crypto::dh_shared(kp.priv, crypto::BigNum::from_bytes(rec.dh_pub_s)));
+      Bytes session = crypto::hkdf(to_bytes("qrm-channel"), shared, dh_pub, 32);
+      MIG_ASSIGN_OR_RETURN(grant.key, crypto::open(session, rec.enc_key));
+    }
+    crypto::Digest commit = crypto::Sha256::hash(grant.key);
+    if (!crypto::ct_equal(ByteSpan(commit), ByteSpan(rec.key_commit)))
+      return Error(ErrorCode::kAuthFailure,
+                   "granted key does not match the quorum's key commitment");
     return grant;
   }
 

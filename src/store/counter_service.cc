@@ -10,23 +10,102 @@
 
 namespace mig::store {
 
-CounterService::CounterService(sgx::AttestationService& ias, crypto::Drbg rng)
-    : ias_(&ias), rng_(std::move(rng)) {
-  crypto::Drbg sig_rng = rng_.fork(to_bytes("ctr-sig"));
-  sig_ = crypto::sig_keygen(sig_rng);
-  kroot_ = rng_.fork(to_bytes("ctr-root")).generate(32);
-}
+// ------------------------------------------------------------- CounterCore
 
-uint64_t CounterService::counter(const crypto::Digest& mrenclave) const {
-  auto it = counters_.find(Bytes(mrenclave.begin(), mrenclave.end()));
-  return it == counters_.end() ? 1 : it->second;
-}
-
-Bytes CounterService::key_for(ByteSpan mrenclave, uint64_t counter) {
+Bytes CounterCore::key_for(ByteSpan mrenclave, uint64_t counter) const {
   Writer info;
   info.raw(mrenclave);
   info.u64(counter);
   return crypto::hkdf(to_bytes("store-counter"), kroot_, info.data(), 32);
+}
+
+uint64_t CounterCore::counter(ByteSpan mrenclave) const {
+  auto it = counters_.find(Bytes(mrenclave.begin(), mrenclave.end()));
+  return it == counters_.end() ? 1 : it->second;
+}
+
+CounterCore::Outcome CounterCore::peek(std::string_view verb,
+                                       uint64_t counter_arg,
+                                       ByteSpan mrenclave) const {
+  Outcome out;
+  uint64_t current = counter(mrenclave);
+  if (verb == "SEALGRANT") {
+    out.granted = true;
+    out.counter = current;
+  } else if (verb == "OPENGRANT") {
+    if (counter_arg != current) {
+      out.refusal = "stale snapshot counter";
+      return out;
+    }
+    out.granted = true;
+    out.counter = current + 1;
+    out.mutating = true;
+  } else if (verb == "ADVANCE") {
+    if (counter_arg != 0 && counter_arg != current) {
+      out.refusal = "stale counter epoch";
+      return out;
+    }
+    out.granted = true;
+    out.counter = current + 1;
+    out.mutating = true;
+  } else {
+    out.refusal = "unknown verb";
+  }
+  return out;
+}
+
+CounterCore::Outcome CounterCore::apply(std::string_view verb,
+                                        uint64_t counter_arg,
+                                        ByteSpan mrenclave) {
+  Outcome out;
+  Bytes id(mrenclave.begin(), mrenclave.end());
+  auto [it, created] = counters_.try_emplace(std::move(id), 1);
+  uint64_t& current = it->second;
+  if (verb == "SEALGRANT") {
+    // Key for the current value; the counter does not move. The reply also
+    // tells a stale fork that the world moved on (it compares against its
+    // in-enclave epoch and self-destroys).
+    out.granted = true;
+    out.counter = current;
+    out.key = key_for(it->first, current);
+  } else if (verb == "OPENGRANT") {
+    if (counter_arg != current) {
+      out.refusal = "stale snapshot counter";
+      return out;
+    }
+    // The restore consumes the epoch: key for c, counter moves to c+1, and
+    // the restored instance records c+1 as its epoch.
+    out.key = key_for(it->first, current);
+    current += 1;
+    out.granted = true;
+    out.counter = current;
+    out.mutating = true;
+  } else if (verb == "ADVANCE") {
+    if (counter_arg != 0 && counter_arg != current) {
+      out.refusal = "stale counter epoch";
+      return out;
+    }
+    current += 1;
+    out.granted = true;
+    out.counter = current;
+    out.mutating = true;
+  } else {
+    out.refusal = "unknown verb";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- CounterService
+
+CounterService::CounterService(sgx::AttestationService& ias, crypto::Drbg rng)
+    : ias_(&ias), rng_(std::move(rng)) {
+  crypto::Drbg sig_rng = rng_.fork(to_bytes("ctr-sig"));
+  sig_ = crypto::sig_keygen(sig_rng);
+  core_ = CounterCore(rng_.fork(to_bytes("ctr-root")).generate(32));
+}
+
+uint64_t CounterService::counter(const crypto::Digest& mrenclave) const {
+  return core_.counter(ByteSpan(mrenclave));
 }
 
 void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
@@ -44,6 +123,28 @@ void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
                 "service unavailable; request swallowed");
     return;
   }
+  // Acquire the serve token: one request at a time end to end, the way a
+  // real HSM-backed counter box behaves. Taken only once a request is
+  // actually in hand, so idle helper threads never hold the box.
+  if (!idle_) idle_ = std::make_unique<sim::Event>(ctx.executor());
+  uint64_t queued_at = ctx.now();
+  while (busy_) {
+    idle_->reset();
+    idle_->wait(ctx);
+  }
+  busy_ = true;
+  queue_wait_ns_ += ctx.now() - queued_at;
+  obs::metrics().set_gauge("store.counter.queue_wait_ns", queue_wait_ns_);
+  // Token held for the rest of the serve, including the error exits.
+  struct TokenRelease {
+    CounterService* s;
+    sim::ThreadCtx* ctx;
+    ~TokenRelease() {
+      s->busy_ = false;
+      s->idle_->set(*ctx);
+    }
+  } release{this, &ctx};
+
   obs::Span<sim::ThreadCtx> span(ctx, "store.counter.serve", "store");
   obs::metrics().add("store.counter.requests");
   Reader r(request);
@@ -75,41 +176,17 @@ void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
   if (!crypto::ct_equal(ByteSpan(verdict.report_data), ByteSpan(bind)))
     return refuse("quote does not bind DH value");
 
-  // No enrollment: the quote *is* the identity. First contact creates the
-  // identity's counter at 1.
-  Bytes id(verdict.mrenclave.begin(), verdict.mrenclave.end());
-  auto [it, created] = counters_.try_emplace(std::move(id), 1);
-  uint64_t& current = it->second;
-
-  uint64_t reply_counter = 0;
-  Bytes key;
-  if (verb == "SEALGRANT") {
-    // Key for the current value; the counter does not move. The reply also
-    // tells a stale fork that the world moved on (it compares against its
-    // in-enclave epoch and self-destroys).
-    reply_counter = current;
-    key = key_for(it->first, current);
-    obs::metrics().add("store.counter.grants");
-  } else if (verb == "OPENGRANT") {
-    if (counter_arg != current)
-      return refuse("stale snapshot counter");
-    // The restore consumes the epoch: key for c, counter moves to c+1, and
-    // the restored instance records c+1 as its epoch.
-    key = key_for(it->first, current);
-    current += 1;
-    reply_counter = current;
-    obs::metrics().add("store.counter.grants");
-  } else if (verb == "ADVANCE") {
-    if (counter_arg != 0 && counter_arg != current)
-      return refuse("stale counter epoch");
-    current += 1;
-    reply_counter = current;
+  CounterCore::Outcome out =
+      core_.apply(verb, counter_arg, ByteSpan(verdict.mrenclave));
+  if (!out.granted) return refuse(out.refusal);
+  if (verb == "ADVANCE") {
     obs::metrics().add("store.counter.advances");
   } else {
-    return refuse("unknown verb");
+    obs::metrics().add("store.counter.grants");
   }
+  uint64_t reply_counter = out.counter;
   audit_.push_back(
-      CounterAuditEntry{verb, verdict.mrenclave, current, ctx.now()});
+      CounterAuditEntry{verb, verdict.mrenclave, out.counter, ctx.now()});
   obs::instant(ctx, "store.counter.granted", "store",
                {{"verb", verb}, {"counter", reply_counter}});
 
@@ -122,8 +199,9 @@ void CounterService::serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) {
   Bytes session = crypto::hkdf(to_bytes("ctr-channel"), *shared, dh_pub_e, 32);
   Bytes dh_pub_s = kp.pub.to_bytes_padded(128);
   Bytes enc_key =
-      key.empty() ? Bytes{}
-                  : crypto::seal(crypto::CipherAlg::kChaCha20, session, key);
+      out.key.empty()
+          ? Bytes{}
+          : crypto::seal(crypto::CipherAlg::kChaCha20, session, out.key);
 
   // Sign the whole transcript. dh_pub_e is fresh per request, so the
   // signature doubles as the anti-replay binding: a recorded CTRGRANT for an

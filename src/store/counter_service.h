@@ -34,9 +34,16 @@
 // Like EnclaveOwner, this runs far away from the untrusted cloud; the WAN
 // round trip is charged on the enclave side (wan_round_trip) and the IAS
 // round trip here.
+//
+// Two implementations exist behind the CounterBackend interface: this
+// single-signer service, and the 2f+1-replica quorum service in
+// src/quorum/quorum.h (attested membership, f+1 matching Schnorr-signed
+// replies, per-replica Merkle audit logs). The verb semantics — shared via
+// CounterCore — are identical; only the trust/availability model differs.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,24 +61,73 @@ struct CounterAuditEntry {
   uint64_t at_ns = 0;
 };
 
-class CounterService {
+// Anything that can answer one SEALGRANT/OPENGRANT/ADVANCE request arriving
+// on a channel end. The migration/fleet layers hold a CounterBackend* and
+// never care whether one signer or a replica quorum stands behind it.
+class CounterBackend {
+ public:
+  virtual ~CounterBackend() = default;
+
+  // Serves at most one request arriving on `end`. Runs on the caller's
+  // thread; typically spawned as a helper sim thread concurrently with the
+  // enclave's mailbox command. When the backend cannot grant (unavailable,
+  // quorum unreachable) the request is swallowed without a reply — the
+  // enclave's channel timeout fires and the operation fails closed. When no
+  // request arrives within the serve timeout (the enclave refused its store
+  // command before contacting us), the call returns without serving.
+  virtual void serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) = 0;
+
+  // How long serve_one waits (virtual time) for a request to arrive.
+  static constexpr uint64_t kServeTimeoutNs = 60'000'000'000;  // 60 s
+};
+
+// The verb state machine all counter backends share: per-identity monotonic
+// counters plus the (identity, counter)-bound sealing-key schedule. Pure
+// state — no network, no crypto handshake — so a quorum replica and the
+// single-signer service cannot drift in semantics.
+class CounterCore {
+ public:
+  CounterCore() = default;
+  explicit CounterCore(Bytes kroot) : kroot_(std::move(kroot)) {}
+
+  struct Outcome {
+    bool granted = false;
+    std::string refusal;   // why, when !granted (wire: "REFUSED:" + refusal)
+    uint64_t counter = 0;  // counter value after the op (the reply counter)
+    Bytes key;             // sealing key; empty for ADVANCE
+    bool mutating = false; // the op advanced the counter
+  };
+
+  // Validity check without mutation — the quorum PREPARE phase. Reports the
+  // counter value the op *would* reply with.
+  Outcome peek(std::string_view verb, uint64_t counter_arg,
+               ByteSpan mrenclave) const;
+
+  // Applies the op (first contact creates the identity's counter at 1).
+  Outcome apply(std::string_view verb, uint64_t counter_arg,
+                ByteSpan mrenclave);
+
+  // Current counter for an identity (1 if it never contacted this core).
+  uint64_t counter(ByteSpan mrenclave) const;
+
+  // Sealing key bound to (identity, counter value).
+  Bytes key_for(ByteSpan mrenclave, uint64_t counter) const;
+
+ private:
+  Bytes kroot_;  // root secret for per-(identity, counter) keys
+  // Counters keyed by mrenclave bytes. Any attested enclave gets a slot
+  // starting at 1 — no enrollment step, identity is the quote.
+  std::map<Bytes, uint64_t> counters_;
+};
+
+class CounterService final : public CounterBackend {
  public:
   CounterService(sgx::AttestationService& ias, crypto::Drbg rng);
 
   // The verification key enclaves need at build time (config blob 3).
   const crypto::BigNum& public_key() const { return sig_.pk; }
 
-  // Serves at most one request arriving on `end`. Runs on the caller's
-  // thread; typically spawned as a helper sim thread concurrently with the
-  // enclave's mailbox command. When the service is unavailable the request
-  // is swallowed without a reply — the enclave's channel timeout fires and
-  // the operation fails closed. When no request arrives within the serve
-  // timeout (the enclave refused its store command before contacting us),
-  // the call returns without serving.
-  void serve_one(sim::ThreadCtx& ctx, sim::Channel::End end);
-
-  // How long serve_one waits (virtual time) for a request to arrive.
-  static constexpr uint64_t kServeTimeoutNs = 60'000'000'000;  // 60 s
+  void serve_one(sim::ThreadCtx& ctx, sim::Channel::End end) override;
 
   // Fault knob: an unreachable counter service (network partition, outage).
   void set_available(bool available) { available_ = available; }
@@ -81,19 +137,24 @@ class CounterService {
 
   const std::vector<CounterAuditEntry>& audit_log() const { return audit_; }
 
- private:
-  // Sealing key bound to (identity, counter value).
-  Bytes key_for(ByteSpan mrenclave, uint64_t counter);
+  // Total virtual time requests spent queued behind the serve token (below).
+  // The fleet bench reads this to show the single-signer choke point.
+  uint64_t queue_wait_ns() const { return queue_wait_ns_; }
 
+ private:
   sgx::AttestationService* ias_;
   crypto::Drbg rng_;
   crypto::SigKeyPair sig_;  // reply-signing key; pk is config blob 3
-  Bytes kroot_;             // root secret for per-(identity, counter) keys
-  // Counters keyed by mrenclave bytes. Any attested enclave gets a slot
-  // starting at 1 — no enrollment step, identity is the quote.
-  std::map<Bytes, uint64_t> counters_;
+  CounterCore core_;
   std::vector<CounterAuditEntry> audit_;
   bool available_ = true;
+  // Whole-serve serialization token. A real monotonic-counter box (TPM NV
+  // index, HSM) processes one request at a time: the NV write and the reply
+  // signature serialize. Concurrent fleet traffic therefore queues here,
+  // which is exactly the choke point the quorum backend removes.
+  bool busy_ = false;
+  std::unique_ptr<sim::Event> idle_;  // lazily bound to the executor
+  uint64_t queue_wait_ns_ = 0;
 };
 
 }  // namespace mig::store

@@ -16,6 +16,9 @@
 //   fleet    — a concurrent host evacuation (three enclave VMs, admission
 //            cap two, one transient fault forcing a retry): exercises the
 //            `fleet.*` span/instant/gauge names over the shared uplink.
+//   quorum   — a cold round trip plus a live migration against three counter
+//            replicas, one of which crashes mid-ADVANCE: exercises the
+//            `quorum.*` span/instant/counter/gauge names.
 //
 // Open trace.json at ui.perfetto.dev (or chrome://tracing) to see the run as
 // a per-sim-thread timeline. Every scenario is seeded, so repeated runs emit
@@ -31,7 +34,9 @@
 
 #include "fleet/fleet.h"
 #include "migration/session.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "quorum/quorum.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "store/counter_service.h"
@@ -274,6 +279,84 @@ int run_store() {
   return 0;
 }
 
+// ---- quorum: replicated counter service with a mid-commit crash -------------
+
+int run_quorum() {
+  hv::World world(4);
+  hv::Machine& source = world.add_machine("src");
+  hv::Machine& target = world.add_machine("dst");
+  hv::Vm vm(hv::VmConfig{}, hv::DirtyModel{});
+  guestos::GuestOs guest(source, vm);
+  crypto::Drbg rng(to_bytes("trace-quorum"));
+  crypto::Drbg srng(to_bytes("dev"));
+  crypto::SigKeyPair dev_signer = crypto::sig_keygen(srng);
+  migration::EnclaveOwner owner(world.ias(), crypto::Drbg(to_bytes("owner")));
+  quorum::QuorumCounterService counters(world.executor(), world.ias(),
+                                        crypto::Drbg(to_bytes("qrm")), 3);
+  store::SealedSnapshotStore snapshots;
+  migration::EnclaveMigrator migrator(world);
+
+  guestos::Process& proc = guest.create_process("app");
+  sdk::BuildInput in;
+  in.program = make_counter_program();
+  in.layout.num_workers = 2;
+  in.quorum_membership = counters.membership_blob();
+  sdk::BuildOutput built =
+      sdk::build_enclave_image(in, dev_signer, world.ias().service_pk(), rng);
+  owner.enroll(built.image.measure(), built.owner);
+  auto host = std::make_unique<sdk::EnclaveHost>(
+      guest, proc, std::move(built), world.ias(), rng.fork(to_bytes("host")));
+
+  migration::EnclaveMigrateOptions opts;
+  opts.counter_service = &counters;
+
+  bool ok = false;
+  world.executor().spawn("driver", [&](sim::ThreadCtx& ctx) {
+    MIG_CHECK(host->create(ctx).ok());
+    {
+      auto ch = world.make_channel();
+      world.executor().spawn("owner", [&, c = ch.get()](sim::ThreadCtx& t) {
+        owner.serve_one(t, c->b());
+      });
+      sdk::ControlCmd cmd;
+      cmd.type = sdk::ControlCmd::Type::kProvision;
+      cmd.channel = ch->a();
+      MIG_CHECK(host->mailbox().post(ctx, cmd).status.ok());
+    }
+    Writer w;
+    w.u64(42);
+    MIG_CHECK(host->ecall(ctx, 0, kEcallAdd, w.data()).ok());
+
+    // Cold round trip: SEALGRANT then OPENGRANT, all three replicas healthy.
+    auto id = migrator.snapshot_to_store(ctx, *host, snapshots, opts);
+    MIG_CHECK_MSG(id.ok(), id.status().to_string());
+    host->crash_instance(ctx);
+    MIG_CHECK(
+        migrator.restore_from_store(ctx, *host, snapshots, *id, opts).ok());
+
+    // Live migration with one replica dying at the ADVANCE commit: the
+    // remaining f+1 grant, the migration completes, and the crash lands in
+    // the flight recorder naming the replica.
+    counters.replica(1).set_crash_at_commit(true);
+    auto blob = migrator.prepare(ctx, *host, opts);
+    MIG_CHECK_MSG(blob.ok(), blob.status().to_string());
+    auto inst = host->detach_instance();
+    guest.set_migration_target(target);
+    MIG_CHECK(guest.resume_enclaves_after_migration(ctx).ok());
+    Status st =
+        migrator.restore(ctx, *host, source, inst, std::move(*blob), opts);
+    MIG_CHECK_MSG(st.ok(), st.to_string());
+    ok = true;
+  });
+  MIG_CHECK(world.executor().run());
+  MIG_CHECK(ok);
+  MIG_CHECK_MSG(obs::flightrec().contains("crashed mid-ADVANCE"),
+                "crash flight record missing");
+  std::printf(
+      "quorum migration ok: 2 of 3 replicas granted, crash flight-recorded\n");
+  return 0;
+}
+
 }  // namespace
 
 // ---- fleet: a concurrent host evacuation ------------------------------------
@@ -392,10 +475,12 @@ int main(int argc, char** argv) {
     rc = run_store();
   } else if (std::strcmp(scenario, "fleet") == 0) {
     rc = run_fleet();
+  } else if (std::strcmp(scenario, "quorum") == 0) {
+    rc = run_quorum();
   } else {
-    std::fprintf(stderr,
-                 "unknown scenario '%s' (precopy|postcopy|store|fleet)\n",
-                 scenario);
+    std::fprintf(
+        stderr, "unknown scenario '%s' (precopy|postcopy|store|fleet|quorum)\n",
+        scenario);
     return 2;
   }
   if (rc != 0) return rc;
